@@ -1,0 +1,90 @@
+// Router Parking ablations: parking policy (aggressive vs conservative)
+// and Phase-I reconfiguration latency (how much of RP's Fig.-10 spike is
+// the stall itself).
+#include <algorithm>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "rp/rp_network.hpp"
+#include "traffic/gating_scenario.hpp"
+#include "traffic/synthetic_traffic.hpp"
+#include "traffic/traffic_pattern.hpp"
+
+namespace {
+
+using namespace flov;
+
+struct RpRun {
+  double avg_latency = 0.0;
+  double peak_window = 0.0;
+  double static_mw = 0.0;
+  int parked = 0;
+};
+
+RpRun run_rp(FabricManagerConfig fm, double gated, Cycle measure,
+             const std::vector<Cycle>& changes) {
+  NocParams p;
+  RpNetwork sys(p, EnergyParams{}, fm);
+  MeshGeometry g(p.width, p.height);
+  auto pattern = TrafficPattern::create("uniform", g);
+  SyntheticTraffic traffic(&sys, pattern.get(), 0.02, p.packet_size, 77);
+  GatingScenario scen =
+      changes.empty() ? GatingScenario::uniform_fraction(g, gated, 5)
+                      : GatingScenario::epochs(g, gated, changes, 5);
+  LatencyStats stats(3, 1000);
+  stats.set_measure_from(10000);
+  sys.network().set_eject_callback(
+      [&](const PacketRecord& r) { stats.record(r); });
+  const Cycle total = 10000 + measure;
+  for (Cycle now = 0; now < total; ++now) {
+    scen.apply(sys, now);
+    traffic.step(now);
+    sys.step(now);
+    if (now == 10000) sys.power().begin_window(now);
+  }
+  RpRun out;
+  out.avg_latency = stats.avg_latency();
+  if (const TimeSeries* ts = stats.timeline()) {
+    for (const auto& pt : ts->points()) {
+      out.peak_window = std::max(out.peak_window, pt.mean);
+    }
+  }
+  out.static_mw = sys.power().report(total).static_mw;
+  out.parked = sys.parked_router_count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flov::bench;
+  flov::Config cfg;
+  cfg.parse_args(argc, argv);
+  const flov::Cycle measure = cfg.get_int("measure", 40000);
+
+  print_header("RP ablation — parking policy at 50% gated cores");
+  std::printf("%-14s %12s %12s %8s\n", "policy", "avg latency", "static mW",
+              "parked");
+  for (auto policy : {flov::RpPolicy::kAggressive,
+                      flov::RpPolicy::kConservative}) {
+    flov::FabricManagerConfig fm;
+    fm.policy = policy;
+    const RpRun r = run_rp(fm, 0.5, measure, {});
+    std::printf("%-14s %12.2f %12.2f %8d\n",
+                policy == flov::RpPolicy::kAggressive ? "aggressive"
+                                                      : "conservative",
+                r.avg_latency, r.static_mw, r.parked);
+  }
+
+  print_header("RP ablation — Phase-I latency vs reconfiguration spike");
+  std::printf("%-14s %12s %14s\n", "phase1", "avg latency", "peak window");
+  for (flov::Cycle p1 : {200, 750, 1500, 3000}) {
+    flov::FabricManagerConfig fm;
+    fm.phase1_latency = p1;
+    const RpRun r = run_rp(fm, 0.1, measure, {20000, 30000});
+    std::printf("%-14llu %12.2f %14.2f\n",
+                static_cast<unsigned long long>(p1), r.avg_latency,
+                r.peak_window);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Figure 9: static power consumption vs the fraction of
+// power-gated cores. Static power is workload-independent for rFLOV/gFLOV
+// (the gated-router set depends only on the gating configuration and the
+// protocol restrictions) and we compare against RP's aggressive policy, as
+// the paper does. Expected shape: gFLOV lowest and diverging from RP as
+// gating grows; rFLOV saturates (adjacency restriction) and crosses ABOVE
+// RP at high fractions; Baseline flat.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flov;
+  using namespace flov::bench;
+  SyntheticExperimentConfig ex = synthetic_from_args(argc, argv);
+  ex.pattern = "uniform";
+  // Static power does not depend on traffic; a light load settles the
+  // handshakes quickly and keeps this bench fast.
+  ex.inj_rate_flits = 0.005;
+  if (ex.measure > 30000) ex.measure = 30000;
+
+  CsvSink csv(argc, argv, kCsvHeader);
+  print_header("Fig. 9 — static power (mW) vs fraction of power-gated cores");
+  std::printf("%-8s %10s %10s %10s %10s | %s\n", "gated%", "Baseline", "RP",
+              "rFLOV", "gFLOV", "gated routers (RP/rFLOV/gFLOV)");
+  for (double f : gating_fractions()) {
+    ex.gated_fraction = f;
+    double vals[4];
+    int gated[4];
+    for (int si = 0; si < 4; ++si) {
+      ex.scheme = kAllSchemes[si];
+      const RunResult r = run_synthetic(ex);
+      csv_run_row(csv, "fig9", ex.pattern.c_str(), ex.inj_rate_flits, f, r);
+      vals[si] = r.power.static_mw;
+      gated[si] = r.gated_routers_end;
+    }
+    std::printf("%-8.0f %10.2f %10.2f %10.2f %10.2f | %d / %d / %d\n",
+                f * 100, vals[0], vals[1], vals[2], vals[3], gated[1],
+                gated[2], gated[3]);
+  }
+  return 0;
+}

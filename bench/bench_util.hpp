@@ -1,0 +1,87 @@
+// Shared helpers for the figure-reproduction benches: argument handling and
+// table printing. Every bench accepts "key=value" overrides, e.g.
+//   bench_fig6_uniform measure=20000 width=8 seed=3
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+
+namespace flov::bench {
+
+/// Standard synthetic-experiment setup from CLI args (Table-I defaults,
+/// paper methodology: 10k warm-up, 100k total cycles).
+inline SyntheticExperimentConfig synthetic_from_args(int argc, char** argv) {
+  Config cfg;
+  cfg.parse_args(argc, argv);
+  SyntheticExperimentConfig ex;
+  ex.noc = NocParams::from_config(cfg);
+  ex.energy = EnergyParams::from_config(cfg);
+  ex.warmup = cfg.get_int("warmup", 10000);
+  ex.measure = cfg.get_int("measure", 90000);
+  ex.seed = cfg.get_int("seed", 1);
+  return ex;
+}
+
+/// The gating fractions of Figs. 6/7/9 (0% .. 80%).
+inline std::vector<double> gating_fractions() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+/// Optional CSV sink: pass csv=<path> to any figure bench to also dump the
+/// raw sweep data (one row per run) for external plotting.
+class CsvSink {
+ public:
+  CsvSink(int argc, char** argv, const char* header) {
+    Config cfg;
+    cfg.parse_args(argc, argv);
+    const std::string path = cfg.get_string("csv", "");
+    if (path.empty()) return;
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_) std::fprintf(file_, "%s\n", header);
+  }
+  ~CsvSink() {
+    if (file_) std::fclose(file_);
+  }
+  CsvSink(const CsvSink&) = delete;
+  CsvSink& operator=(const CsvSink&) = delete;
+
+  /// Writes one printf-formatted row.
+  template <typename... Args>
+  void row(const char* fmt, Args... args) {
+    if (!file_) return;
+    std::fprintf(file_, fmt, args...);
+    std::fprintf(file_, "\n");
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Appends the standard per-run CSV fields for a synthetic sweep row.
+inline void csv_run_row(CsvSink& csv, const char* figure,
+                        const char* pattern, double inj, double gated,
+                        const RunResult& r) {
+  csv.row("%s,%s,%.3f,%.2f,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,"
+          "%d,%llu",
+          figure, pattern, inj, gated, r.scheme.c_str(), r.avg_latency,
+          r.breakdown.router, r.breakdown.link, r.breakdown.serialization,
+          r.breakdown.contention, r.breakdown.flov, r.power.static_mw,
+          r.power.dynamic_mw, r.power.total_mw, r.gated_routers_end,
+          static_cast<unsigned long long>(r.packets_measured));
+}
+
+inline constexpr const char* kCsvHeader =
+    "figure,pattern,inj,gated,scheme,latency,router,link,serialization,"
+    "contention,flov,static_mw,dynamic_mw,total_mw,gated_routers,packets";
+
+}  // namespace flov::bench

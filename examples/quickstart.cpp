@@ -1,0 +1,46 @@
+// Quickstart: run all four schemes (Baseline, RP, rFLOV, gFLOV) on the
+// paper's Table-I 8x8 mesh with uniform-random traffic and 50% of the
+// cores power-gated, then print latency and power side by side.
+//
+// Usage: quickstart [key=value ...]
+//   e.g. quickstart inj=0.04 gated=0.3 pattern=tornado cycles=50000
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flov;
+  Config cfg;
+  cfg.parse_args(argc, argv);
+
+  SyntheticExperimentConfig ex;
+  ex.noc = NocParams::from_config(cfg);
+  ex.energy = EnergyParams::from_config(cfg);
+  ex.pattern = cfg.get_string("pattern", "uniform");
+  ex.inj_rate_flits = cfg.get_double("inj", 0.02);
+  ex.gated_fraction = cfg.get_double("gated", 0.5);
+  ex.warmup = cfg.get_int("warmup", 10000);
+  ex.measure = cfg.get_int("cycles", 90000);
+  ex.seed = cfg.get_int("seed", 1);
+
+  std::printf("FLOV quickstart: %dx%d mesh, %s traffic, inj=%.3f "
+              "flits/node/cycle, %.0f%% cores gated\n\n",
+              ex.noc.width, ex.noc.height, ex.pattern.c_str(),
+              ex.inj_rate_flits, 100.0 * ex.gated_fraction);
+  std::printf("%-10s %12s %12s %12s %12s %10s %8s\n", "scheme", "avg lat",
+              "static mW", "dynamic mW", "total mW", "pkts", "gated");
+
+  for (Scheme s : kAllSchemes) {
+    ex.scheme = s;
+    const RunResult r = run_synthetic(ex);
+    std::printf("%-10s %12.2f %12.2f %12.2f %12.2f %10llu %8d\n",
+                r.scheme.c_str(), r.avg_latency, r.power.static_mw,
+                r.power.dynamic_mw, r.power.total_mw,
+                static_cast<unsigned long long>(r.packets_measured),
+                r.gated_routers_end);
+  }
+  std::printf("\nLatency breakdown (cycles): router / link / serialization / "
+              "contention / FLOV — see bench_fig8_breakdown for the sweep.\n");
+  return 0;
+}

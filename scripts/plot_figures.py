@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from bench CSV output.
+
+Usage:
+    build/bench/bench_fig6_uniform csv=results/fig6.csv
+    build/bench/bench_fig7_tornado csv=results/fig7.csv
+    build/bench/bench_fig9_static  csv=results/fig9.csv
+    python3 scripts/plot_figures.py results/fig6.csv results/fig9.csv
+
+Produces one PNG per (figure, injection-rate, metric) next to each CSV.
+Requires matplotlib; the simulator itself never does.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+SCHEME_ORDER = ["Baseline", "RP", "rFLOV", "gFLOV"]
+METRICS = {
+    "latency": "average packet latency (cycles)",
+    "dynamic_mw": "dynamic power (mW)",
+    "total_mw": "total power (mW)",
+    "static_mw": "static power (mW)",
+}
+
+
+def plot_file(path: str) -> None:
+    rows = list(csv.DictReader(open(path)))
+    if not rows:
+        print(f"{path}: empty")
+        return
+    # Group by (figure, injection rate).
+    groups = defaultdict(list)
+    for r in rows:
+        groups[(r["figure"], r["inj"])].append(r)
+    base, _ = os.path.splitext(path)
+    for (figure, inj), grp in groups.items():
+        for metric, label in METRICS.items():
+            if metric not in grp[0]:
+                continue
+            series = defaultdict(list)  # scheme -> [(gated, value)]
+            for r in grp:
+                series[r["scheme"]].append(
+                    (100 * float(r["gated"]), float(r[metric]))
+                )
+            plt.figure(figsize=(5, 3.2))
+            for scheme in SCHEME_ORDER:
+                if scheme not in series:
+                    continue
+                pts = sorted(series[scheme])
+                plt.plot([p[0] for p in pts], [p[1] for p in pts],
+                         marker="o", markersize=3, label=scheme)
+            plt.xlabel("power-gated cores (%)")
+            plt.ylabel(label)
+            plt.title(f"{figure}  inj={inj} flits/node/cycle")
+            plt.legend(fontsize=8)
+            plt.tight_layout()
+            out = f"{base}_{figure}_inj{inj}_{metric}.png"
+            plt.savefig(out, dpi=150)
+            plt.close()
+            print(f"wrote {out}")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for path in sys.argv[1:]:
+        plot_file(path)
+
+
+if __name__ == "__main__":
+    main()

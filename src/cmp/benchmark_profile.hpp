@@ -1,0 +1,47 @@
+// PARSEC-like benchmark profiles (full-system substitution; see DESIGN.md).
+//
+// Each profile shapes the NoC-relevant behaviour of one PARSEC 2.1
+// benchmark: per-core memory intensity, working-set size (=> L1/L2 miss
+// rates), read/write mix, data sharing degree (=> coherence traffic), and
+// load imbalance (=> cores finish early, idle, and get power-gated by the
+// OS, which is what the power-gating schemes exploit). The *absolute*
+// numbers are synthetic; the cross-benchmark diversity mirrors the PARSEC
+// characterization (Bienia et al., PACT'08).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace flov {
+
+struct BenchmarkProfile {
+  std::string name;
+  /// Probability an instruction is a memory access.
+  double mem_access_rate = 0.05;
+  /// Fraction of memory accesses that are stores.
+  double write_fraction = 0.25;
+  /// Fraction of accesses that target the globally shared region.
+  double share_fraction = 0.10;
+  /// Private working set per core, in 64B blocks.
+  int private_blocks = 1024;
+  /// Shared region size, in blocks.
+  int shared_blocks = 512;
+  /// Instructions for the most-loaded core.
+  std::uint64_t base_instructions = 40000;
+  /// Load imbalance in [0,1): core i executes
+  /// base * (1 - imbalance * i / (n-1)) instructions, so high-imbalance
+  /// benchmarks idle (and power-gate) many cores early.
+  double imbalance = 0.3;
+  /// Fraction of cores that have work at all. PARSEC workloads do not
+  /// scale to 64 threads; unused cores are power-gated by the OS from the
+  /// start — the low-average-utilization premise of the paper's Section I.
+  double active_fraction = 0.7;
+
+  /// The nine-benchmark suite used in the paper's Fig. 8(c,d).
+  static std::vector<BenchmarkProfile> parsec_suite();
+  static BenchmarkProfile by_name(const std::string& name);
+};
+
+}  // namespace flov

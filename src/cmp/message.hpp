@@ -1,0 +1,89 @@
+// Coherence message vocabulary for the CMP substrate (gem5+PARSEC
+// substitute; see DESIGN.md).
+//
+// MESI directory protocol with memory-side directories: four L2+directory
+// banks co-located with the memory controllers at the mesh corners
+// (Table I: "8MB L2, MESI, 4 MCs at 4 corners"). Three virtual networks
+// give protocol-deadlock freedom: requests (vnet 0), forwards/invalidations
+// (vnet 1), responses/data (vnet 2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace flov {
+
+using Addr = std::uint64_t;
+
+inline constexpr int kBlockBytes = 64;
+inline constexpr int kFlitBytes = 16;
+/// 64B data + header -> 5 flits; control messages -> 1 flit.
+inline constexpr int kDataFlits = kBlockBytes / kFlitBytes + 1;
+inline constexpr int kCtrlFlits = 1;
+
+enum class MsgType : std::uint8_t {
+  // requests (vnet 0): L1 -> directory
+  kGetS = 0,   ///< read miss
+  kGetM,       ///< write miss / upgrade
+  kPutM,       ///< dirty eviction (carries data)
+  kPutE,       ///< clean-exclusive eviction (control only; acked like PutM)
+  kPutS,       ///< clean shared eviction notification
+  // forwards (vnet 1): directory -> L1
+  kFwdGetS,    ///< owner: send data to requester + dir, downgrade to S
+  kFwdGetM,    ///< owner: send data to dir, invalidate
+  kInv,        ///< sharer: invalidate, ack to dir
+  // responses (vnet 2)
+  kData,       ///< data to requester (grant S or M per transaction)
+  kDataToDir,  ///< owner data back to the directory
+  kInvAck,     ///< sharer invalidation ack to dir
+  kPutAck,     ///< directory acks a PutM/PutS
+};
+
+const char* to_string(MsgType t);
+
+constexpr VnetId vnet_of(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS:
+    case MsgType::kGetM:
+    case MsgType::kPutM:
+    case MsgType::kPutE:
+    case MsgType::kPutS:
+      return 0;
+    case MsgType::kFwdGetS:
+    case MsgType::kFwdGetM:
+    case MsgType::kInv:
+      return 1;
+    case MsgType::kData:
+    case MsgType::kDataToDir:
+    case MsgType::kInvAck:
+    case MsgType::kPutAck:
+      return 2;
+  }
+  return 2;
+}
+
+constexpr int flits_of(MsgType t) {
+  switch (t) {
+    case MsgType::kPutM:
+    case MsgType::kData:
+    case MsgType::kDataToDir:
+      return kDataFlits;
+    default:
+      return kCtrlFlits;
+  }
+}
+
+/// Permission carried by a kData response (MESI).
+enum class Grant : std::uint8_t { kS = 0, kE, kM };
+
+struct CoherenceMsg {
+  MsgType type = MsgType::kGetS;
+  Addr addr = 0;
+  NodeId src = kInvalidNode;        ///< sending tile
+  NodeId dst = kInvalidNode;        ///< receiving tile
+  NodeId requester = kInvalidNode;  ///< original requester (for forwards)
+  Grant grant = Grant::kS;          ///< kData only
+};
+
+}  // namespace flov

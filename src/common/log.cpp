@@ -1,0 +1,17 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace flov {
+
+void fatal(const char* file, int line, const std::string& msg) {
+  // Throwing (rather than abort) lets gtest death-style tests and callers
+  // that embed the simulator handle violations; uncaught it still terminates
+  // with the message visible.
+  std::fprintf(stderr, "[flov fatal] %s:%d: %s\n", file, line, msg.c_str());
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": " + msg);
+}
+
+}  // namespace flov

@@ -1,0 +1,33 @@
+// Assertion and diagnostic helpers.
+//
+// FLOV_CHECK is an always-on invariant check (simulator correctness depends
+// on protocol invariants holding; silently corrupt state is worse than an
+// abort). FLOV_DCHECK compiles out in release builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace flov {
+
+[[noreturn]] void fatal(const char* file, int line, const std::string& msg);
+
+}  // namespace flov
+
+#define FLOV_CHECK(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::flov::fatal(__FILE__, __LINE__,                             \
+                    std::string("check failed: " #cond " — ") + (msg)); \
+    }                                                               \
+  } while (0)
+
+#ifndef NDEBUG
+#define FLOV_DCHECK(cond, msg) FLOV_CHECK(cond, msg)
+#else
+#define FLOV_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#endif

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// A self-contained xoshiro256** implementation: fast, high quality, and —
+// unlike std::mt19937 + distributions — bit-identical across standard
+// libraries, which keeps every experiment reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Derives an independent stream (for per-node generators).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace flov

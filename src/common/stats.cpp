@@ -1,0 +1,120 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+void StatAccumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StatAccumulator::reset() { *this = StatAccumulator{}; }
+
+double StatAccumulator::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), bins_(bins, 0) {
+  FLOV_CHECK(hi > lo && bins > 0, "bad histogram bounds");
+}
+
+void Histogram::add(double x) {
+  int idx = static_cast<int>((x - lo_) / width_);
+  idx = std::clamp(idx, 0, static_cast<int>(bins_.size()) - 1);
+  ++bins_[idx];
+  ++total_;
+}
+
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target) {
+      const double frac =
+          bins_[i] ? (target - cum) / static_cast<double>(bins_[i]) : 0.0;
+      return bin_low(static_cast<int>(i)) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+void TimeSeries::add(Cycle when, double value) {
+  const std::uint64_t idx = when / window_;
+  if (buckets_.empty() || buckets_.back().first < idx) {
+    buckets_.emplace_back(idx, StatAccumulator{});
+  }
+  // Simulation time is monotone, but merged streams may insert into earlier
+  // windows; search backward for the right bucket (usually the last one).
+  for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
+    if (it->first == idx) {
+      it->second.add(value);
+      return;
+    }
+    if (it->first < idx) break;
+  }
+  // Rare out-of-order insert: create and keep sorted.
+  auto pos = std::lower_bound(
+      buckets_.begin(), buckets_.end(), idx,
+      [](const auto& b, std::uint64_t i) { return b.first < i; });
+  pos = buckets_.insert(pos, {idx, StatAccumulator{}});
+  pos->second.add(value);
+}
+
+std::vector<TimeSeries::Point> TimeSeries::points() const {
+  std::vector<Point> out;
+  out.reserve(buckets_.size());
+  for (const auto& [idx, acc] : buckets_) {
+    out.push_back(Point{idx * window_, acc.mean(), acc.count()});
+  }
+  return out;
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace flov

@@ -1,0 +1,90 @@
+// Statistics primitives used by the experiment harness: running accumulators,
+// fixed-bin histograms and time-series samplers (for the Fig. 10 latency
+// timeline).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace flov {
+
+/// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Population variance.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Histogram with uniform bins over [lo, hi); out-of-range samples are
+/// clamped into the first/last bin. Percentiles are linear within a bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  void reset();
+
+  std::uint64_t count() const { return total_; }
+  double percentile(double p) const;  // p in [0, 100]
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+  double bin_low(int i) const { return lo_ + i * width_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Buckets samples by time window; used to plot metric-vs-cycle curves
+/// (e.g. average packet latency per 1000-cycle window in Fig. 10).
+class TimeSeries {
+ public:
+  explicit TimeSeries(Cycle window) : window_(window) {}
+
+  void add(Cycle when, double value);
+
+  struct Point {
+    Cycle window_start = 0;
+    double mean = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// Windows in increasing time order (empty windows omitted).
+  std::vector<Point> points() const;
+  Cycle window() const { return window_; }
+
+ private:
+  Cycle window_;
+  // Sparse: (window index -> accumulator), kept sorted by construction since
+  // simulation time is monotone.
+  std::vector<std::pair<std::uint64_t, StatAccumulator>> buckets_;
+};
+
+/// Formats a double with fixed precision (helper for table printers).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace flov

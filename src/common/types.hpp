@@ -1,0 +1,29 @@
+// Fundamental scalar types and enumerations shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace flov {
+
+/// Simulation time in router clock cycles (2 GHz in the paper's testbed).
+using Cycle = std::uint64_t;
+
+/// Identifies a node (router/core tile) in the mesh, row-major with row 0 at
+/// the top of the layout (matches the paper's Fig. 5 numbering).
+using NodeId = std::int32_t;
+
+/// Identifies a virtual channel within an input port.
+using VcId = std::int32_t;
+
+/// Identifies a virtual network (message class). The full-system
+/// configuration uses 3 vnets (request / forward / response).
+using VnetId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Sentinel cycle value meaning "never" / "unset".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace flov

@@ -1,0 +1,226 @@
+#include "flov/flov_network.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "noc/router.hpp"
+#include "routing/partition.hpp"
+
+namespace flov {
+
+FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
+                         const EnergyParams& energy)
+    : params_(params),
+      mode_(mode),
+      geom_(params.width, params.height),
+      power_(std::make_unique<PowerTracker>(geom_, energy,
+                                            /*flov_hardware=*/true)),
+      routing_(std::make_unique<FlovRouting>(geom_)),
+      net_(std::make_unique<Network>(params_, routing_.get(), power_.get())),
+      fabric_(geom_, power_.get()) {
+  fabric_.set_handler([this](NodeId at, const HsMessage& m) {
+    return hscs_[at]->on_signal(m, current_cycle_);
+  });
+  trigger_sent_.assign(net_->num_nodes(), false);
+  hscs_.reserve(net_->num_nodes());
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+    hscs_.push_back(std::make_unique<HandshakeController>(
+        id, mode_, params_, &net_->router(id), &fabric_, this));
+    net_->router(id).set_wakeup_callback([this, id](NodeId target) {
+      request_wakeup(id, target, current_cycle_);
+    });
+  }
+}
+
+void FlovNetwork::step(Cycle now) {
+  current_cycle_ = now;
+  net_->step(now);
+  fabric_.step(now);
+  for (auto& h : hscs_) h->step(now);
+}
+
+void FlovNetwork::set_core_gated(NodeId core, bool gated, Cycle now) {
+  hscs_[core]->set_core_gated(gated, now);
+}
+
+bool FlovNetwork::path_clear(NodeId from, Direction dir, NodeId to) const {
+  const MeshGeometry& g = net_->geom();
+  NodeId cur = from;
+  while (true) {
+    // `cur`'s outgoing channel toward dir.
+    auto* ch = const_cast<Network&>(*net_).flit_channel(cur, dir);
+    if (ch && !ch->empty()) return false;
+    const NodeId next = g.neighbor(cur, dir);
+    if (next == kInvalidNode || next == to) return true;
+    const Router& r = net_->router(next);
+    if (!r.latch_empty(dir)) return false;
+    cur = next;
+  }
+}
+
+NodeId FlovNetwork::nearest_pipeline(NodeId b, Direction dir) const {
+  const MeshGeometry& g = net_->geom();
+  NodeId cur = g.neighbor(b, dir);
+  while (cur != kInvalidNode) {
+    if (net_->router(cur).mode() == RouterMode::kPipeline) return cur;
+    cur = g.neighbor(cur, dir);
+  }
+  return kInvalidNode;
+}
+
+std::vector<int> FlovNetwork::inflight_per_vc(NodeId from, Direction dir,
+                                              NodeId to) const {
+  std::vector<int> counts(params_.total_vcs(), 0);
+  const MeshGeometry& g = net_->geom();
+  NodeId cur = from;
+  while (true) {
+    auto* ch = const_cast<Network&>(*net_).flit_channel(cur, dir);
+    if (ch) {
+      ch->for_each_in_flight([&](const Flit& f) { counts[f.vc]++; });
+    }
+    const NodeId next = g.neighbor(cur, dir);
+    if (next == kInvalidNode || next == to) return counts;
+    const auto& latched = net_->router(next).latch_flit(dir);
+    if (latched.has_value()) counts[latched->vc]++;
+    cur = next;
+  }
+}
+
+void FlovNetwork::clear_credit_path(NodeId from, Direction dir, NodeId to) {
+  // Credit back-channels of the links on the path from -> ... -> to:
+  // for each router r on the path (excluding `to`), the credit channel
+  // paired with r's outgoing flit link toward dir is r.credit_in(dir).
+  const MeshGeometry& g = net_->geom();
+  NodeId cur = from;
+  while (cur != kInvalidNode && cur != to) {
+    if (auto* ch = net_->router(cur).credit_in(dir)) ch->clear();
+    cur = g.neighbor(cur, dir);
+  }
+}
+
+void FlovNetwork::handover_flow(NodeId b, Direction flow, bool waking,
+                                Cycle now) {
+  (void)now;
+  const NodeId up = waking ? nearest_pipeline(b, opposite(flow)) : kInvalidNode;
+  const NodeId down = nearest_pipeline(b, flow);
+
+  // The router whose output credits must now track `down` directly:
+  // when `b` sleeps it is the nearest powered upstream; when `b` wakes it
+  // is `b` itself (and the upstream separately re-tracks `b`).
+  const NodeId tracker =
+      waking ? b : nearest_pipeline(b, opposite(flow));
+  if (tracker != kInvalidNode) {
+    if (down != kInvalidNode) {
+      std::vector<int> free =
+          net_->router(down).input_free_slots(opposite(flow));
+      const std::vector<int> inflight = inflight_per_vc(tracker, flow, down);
+      for (std::size_t v = 0; v < free.size(); ++v) {
+        free[v] -= inflight[v];
+        FLOV_CHECK(free[v] >= 0, "negative effective credits at handover");
+      }
+      net_->router(tracker).reload_output_credits(flow, free);
+    } else {
+      // No powered router downstream: nothing can be sent that way except
+      // to sleeping destinations, which the hold-for-wakeup rule blocks.
+      net_->router(tracker).reset_output_credits_full(flow);
+    }
+    clear_credit_path(tracker, flow, down);
+  }
+
+  if (waking && up != kInvalidNode) {
+    // The upstream now tracks the freshly woken (empty) router `b`.
+    const std::vector<int> inflight = inflight_per_vc(up, flow, b);
+    std::vector<int> free(params_.total_vcs(), params_.buffer_depth);
+    for (std::size_t v = 0; v < free.size(); ++v) {
+      free[v] -= inflight[v];
+      FLOV_CHECK(free[v] >= 0, "negative effective credits at wake handover");
+    }
+    net_->router(up).reload_output_credits(flow, free);
+    clear_credit_path(up, flow, b);
+  }
+}
+
+void FlovNetwork::sleep_handover(NodeId b, Cycle now) {
+  trigger_sent_[b] = false;  // fresh sleep: allow a new wakeup trigger
+  for (Direction flow : kMeshDirections) {
+    handover_flow(b, flow, /*waking=*/false, now);
+  }
+}
+
+void FlovNetwork::wake_handover(NodeId w, Cycle now) {
+  for (Direction flow : kMeshDirections) {
+    handover_flow(w, flow, /*waking=*/true, now);
+  }
+  refresh_view(w);
+}
+
+void FlovNetwork::refresh_view(NodeId w) {
+  NeighborhoodView& v = net_->router(w).view();
+  const MeshGeometry& g = net_->geom();
+  for (Direction d : kMeshDirections) {
+    const int i = dir_index(d);
+    const NodeId phys = g.neighbor(w, d);
+    v.physical[i] =
+        phys == kInvalidNode ? PowerState::kActive : hscs_[phys]->state();
+    // Nearest non-sleeping router along d.
+    NodeId cur = phys;
+    while (cur != kInvalidNode && hscs_[cur]->state() == PowerState::kSleep) {
+      cur = g.neighbor(cur, d);
+    }
+    v.logical[i] = cur;
+    v.logical_state[i] =
+        cur == kInvalidNode ? PowerState::kActive : hscs_[cur]->state();
+    v.output_blocked[i] = v.logical_state[i] == PowerState::kDraining ||
+                          v.logical_state[i] == PowerState::kWakeup;
+  }
+}
+
+void FlovNetwork::request_wakeup(NodeId requester, NodeId target, Cycle now) {
+  auto& h = *hscs_[target];
+  if (h.state() != PowerState::kSleep) return;
+  if (h.wakeup_pending() || trigger_sent_[target]) return;
+  trigger_sent_[target] = true;
+  // Direction from requester toward target (they share a row or column).
+  const Coord a = net_->geom().coord(requester);
+  const Coord b = net_->geom().coord(target);
+  Direction d;
+  if (a.x == b.x) {
+    d = b.y < a.y ? Direction::North : Direction::South;
+  } else {
+    FLOV_CHECK(a.y == b.y, "wakeup target not in line with requester");
+    d = b.x < a.x ? Direction::West : Direction::East;
+  }
+  HsMessage m;
+  m.type = HsType::kWakeupTrigger;
+  m.from = requester;
+  m.travel = d;
+  m.target = target;
+  fabric_.send(now, m);
+}
+
+FlovNetwork::ProtocolStats FlovNetwork::protocol_stats(Cycle now) const {
+  ProtocolStats s;
+  for (const auto& h : hscs_) {
+    s.sleeps += h->sleep_entries();
+    s.wakeups += h->wake_completions();
+    s.drain_aborts += h->drain_aborts();
+    s.sleep_cycles += h->sleep_cycles(now);
+  }
+  if (now > 0) {
+    s.avg_gated_routers =
+        static_cast<double>(s.sleep_cycles) / static_cast<double>(now);
+  }
+  return s;
+}
+
+int FlovNetwork::gated_router_count() const {
+  int n = 0;
+  for (const auto& h : hscs_) {
+    if (h->state() == PowerState::kSleep || h->state() == PowerState::kWakeup) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace flov

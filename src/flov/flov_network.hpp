@@ -1,0 +1,120 @@
+// FLOV system: mesh network + per-router HSCs + signal fabric + the
+// credit-handover transactions performed at Sleep/Active transitions.
+//
+// The handover models the paper's credit copy ("the credit counts of its
+// downstream router are copied to the upstream router"): at the cycle a
+// router finishes gating, the nearest powered-on upstream router's credit
+// counters for each flow direction are reloaded with the nearest powered-on
+// downstream router's free-buffer counts, minus flits still in flight on
+// the wire, and stale relay credits on the segment are voided. From then
+// on credits relay hop-by-hop through the sleeping run with real 1-cycle
+// latency — the "round-trip credit loop" cost the paper discusses is fully
+// modeled; only the instantaneous copy at the transition edge is idealized.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "flov/hsc.hpp"
+#include "flov/signal_fabric.hpp"
+#include "noc/network.hpp"
+#include "noc/system_iface.hpp"
+#include "power/power_tracker.hpp"
+#include "routing/flov_routing.hpp"
+
+namespace flov {
+
+class FlovNetwork final : public NocSystem {
+ public:
+  FlovNetwork(const NocParams& params, FlovMode mode,
+              const EnergyParams& energy);
+
+  // --- NocSystem ---
+  void step(Cycle now) override;
+  void set_core_gated(NodeId core, bool gated, Cycle now) override;
+  bool core_gated(NodeId core) const override {
+    return hscs_[core]->core_gated();
+  }
+  bool injection_allowed(NodeId src) const override {
+    return !hscs_[src]->core_gated();
+  }
+  Network& network() override { return *net_; }
+  const Network& network() const override { return *net_; }
+  const char* name() const override {
+    return mode_ == FlovMode::kRestricted ? "rFLOV" : "gFLOV";
+  }
+
+  PowerTracker& power() { return *power_; }
+  const PowerTracker& power() const { return *power_; }
+  FlovMode mode() const { return mode_; }
+
+  HandshakeController& hsc(NodeId id) { return *hscs_[id]; }
+  const HandshakeController& hsc(NodeId id) const { return *hscs_[id]; }
+
+  // --- hooks used by the HSCs ---
+  /// Routers in the AON column never power-gate (Section V).
+  bool gating_forbidden(NodeId id) const {
+    return net_->geom().is_aon_column(id);
+  }
+  bool ni_idle(NodeId id) const { return net_->ni(id).idle(); }
+  /// Gate the NI while the router datapath is unavailable: a re-activated
+  /// core's packets queue (wakeup latency shows up as queuing delay) and
+  /// are injected once the router is Active again.
+  void set_ni_stalled(NodeId id, bool stalled) {
+    net_->ni(id).set_injection_stalled(stalled);
+  }
+  /// No flits on the wire/latches between `from` (exclusive) and `to`
+  /// (exclusive) along `dir`.
+  bool path_clear(NodeId from, Direction dir, NodeId to) const;
+  /// Credit-handover at Sleep entry of router `b`.
+  void sleep_handover(NodeId b, Cycle now);
+  /// Credit-handover + view refresh when router `w` turns Active.
+  void wake_handover(NodeId w, Cycle now);
+  /// Sends a WakeupTrigger from `requester` toward sleeping `target`
+  /// (deduplicated: no-op if the target is already waking or triggered).
+  void request_wakeup(NodeId requester, NodeId target, Cycle now);
+
+  // Aggregate stats.
+  int gated_router_count() const;
+
+  struct ProtocolStats {
+    std::uint64_t sleeps = 0;         ///< completed Sleep entries
+    std::uint64_t wakeups = 0;        ///< completed wakeups
+    std::uint64_t drain_aborts = 0;
+    Cycle sleep_cycles = 0;           ///< total router-cycles spent gated
+    double avg_gated_routers = 0.0;   ///< sleep_cycles / elapsed cycles
+  };
+  ProtocolStats protocol_stats(Cycle now) const;
+
+ private:
+  /// Nearest router in `dir` from `b` (exclusive) whose datapath is
+  /// kPipeline; kInvalidNode if the line ends first.
+  NodeId nearest_pipeline(NodeId b, Direction dir) const;
+  /// In-flight flits per absolute VC on the path from `from` (exclusive
+  /// latches, inclusive of `from`'s outgoing channel) up to `to`.
+  std::vector<int> inflight_per_vc(NodeId from, Direction dir,
+                                   NodeId to) const;
+  /// Voids stale credits on every credit back-channel of the path
+  /// `from` -> `to` along `dir`.
+  void clear_credit_path(NodeId from, Direction dir, NodeId to);
+  /// Recomputes `w`'s NeighborhoodView from current global state (models
+  /// the state refresh a router receives upon wakeup).
+  void refresh_view(NodeId w);
+  void handover_flow(NodeId b, Direction flow, bool waking, Cycle now);
+
+  NocParams params_;
+  FlovMode mode_;
+  MeshGeometry geom_;  ///< shared by routing/power (Network keeps its own copy)
+  std::unique_ptr<PowerTracker> power_;
+  std::unique_ptr<FlovRouting> routing_;
+  std::unique_ptr<Network> net_;
+  SignalFabric fabric_;
+  std::vector<std::unique_ptr<HandshakeController>> hscs_;
+  /// One outstanding WakeupTrigger per sleeping target (reset at each
+  /// Sleep entry); packet holders re-request every cycle otherwise.
+  std::vector<bool> trigger_sent_;
+  Cycle current_cycle_ = 0;
+};
+
+}  // namespace flov

@@ -1,0 +1,39 @@
+// Out-of-band handshake signal vocabulary (paper Section IV).
+//
+// Signals travel on dedicated control wires, one hop per cycle; sleeping
+// routers forward them (updating their own PSRs as they pass) and the
+// first powered-on router in the direction of travel absorbs them.
+#pragma once
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+enum class HsType : std::uint8_t {
+  kDrainReq = 0,   ///< sender entered Draining; stop new transmissions to it
+  kDrainAbort,     ///< sender aborted Draining (lost arbitration / core woke)
+  kDrainDone,      ///< sender finished in-flight deliveries to the addressee
+  kSleepNotify,    ///< sender is power-gated; FLOV links live; payload =
+                   ///<   sender's logical neighbor beyond (for PSR update)
+  kWakeupNotify,   ///< sender entered Wakeup; stop new transmissions to it
+  kActiveNotify,   ///< sender completed wakeup and is Active
+  kWakeupTrigger,  ///< wake the addressed router (packet destined to it)
+};
+
+const char* to_string(HsType t);
+
+struct HsMessage {
+  HsType type = HsType::kDrainReq;
+  NodeId from = kInvalidNode;
+  /// Direction of travel (from sender outward).
+  Direction travel = Direction::North;
+  /// kWakeupTrigger: the router that must wake. Other types: unused.
+  NodeId target = kInvalidNode;
+  /// kSleepNotify: the sender's logical neighbor on the *opposite* side of
+  /// the travel direction (the receiver's new logical neighbor beyond the
+  /// sender). kInvalidNode if none.
+  NodeId logical_beyond = kInvalidNode;
+};
+
+}  // namespace flov

@@ -1,0 +1,335 @@
+#include "flov/hsc.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "flov/flov_network.hpp"
+#include "flov/signal_fabric.hpp"
+#include "noc/router.hpp"
+
+namespace flov {
+
+HandshakeController::HandshakeController(NodeId id, FlovMode mode,
+                                         const NocParams& params,
+                                         Router* router, SignalFabric* fabric,
+                                         FlovNetwork* owner)
+    : id_(id), mode_(mode), params_(params), router_(router),
+      fabric_(fabric), owner_(owner) {
+  FLOV_CHECK(router_ && fabric_ && owner_, "HSC missing collaborators");
+}
+
+void HandshakeController::set_core_gated(bool gated, Cycle now) {
+  core_gated_ = gated;
+  if (!gated && state_ == PowerState::kSleep) {
+    // The FSM wakes on its next step; nothing else to do here.
+    (void)now;
+  }
+}
+
+NodeId HandshakeController::partner(Direction d) const {
+  if (mode_ == FlovMode::kRestricted) {
+    // Physical neighbor: under rFLOV's adjacency restriction the physical
+    // neighbor is powered whenever a handshake is needed.
+    return owner_->network().geom().neighbor(id_, d);
+  }
+  return router_->view().logical[dir_index(d)];
+}
+
+void HandshakeController::send(Cycle now, HsType type, Direction travel,
+                               NodeId target, NodeId logical_beyond) {
+  HsMessage m;
+  m.type = type;
+  m.from = id_;
+  m.travel = travel;
+  m.target = target;
+  m.logical_beyond = logical_beyond;
+  fabric_->send(now, m);
+}
+
+bool HandshakeController::can_start_drain(Cycle now) const {
+  if (owner_->gating_forbidden(id_)) return false;
+  if (!owner_->ni_idle(id_)) return false;
+  const Cycle quiet_since =
+      std::max(router_->last_local_activity(), state_since_);
+  if (now - quiet_since < params_.drain_idle_threshold) return false;
+  const NeighborhoodView& v = router_->view();
+  for (Direction d : kMeshDirections) {
+    if (mode_ == FlovMode::kRestricted) {
+      // No adjacent router may be anything but Active (and alive).
+      if (owner_->network().geom().neighbor(id_, d) == kInvalidNode) continue;
+      if (v.physical[dir_index(d)] != PowerState::kActive) return false;
+    } else {
+      // gFLOV: no logical neighbor may be Draining or Wakeup.
+      if (v.logical[dir_index(d)] == kInvalidNode) continue;
+      const PowerState s = v.logical_state[dir_index(d)];
+      if (s == PowerState::kDraining || s == PowerState::kWakeup) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool HandshakeController::can_start_wakeup() const {
+  // A power-gated router defers wakeup while any logical neighbor drains.
+  const NeighborhoodView& v = router_->view();
+  for (Direction d : kMeshDirections) {
+    if (v.logical[dir_index(d)] == kInvalidNode) continue;
+    if (v.logical_state[dir_index(d)] == PowerState::kDraining) return false;
+  }
+  return true;
+}
+
+void HandshakeController::enter_draining(Cycle now) {
+  owner_->set_ni_stalled(id_, true);
+  state_ = PowerState::kDraining;
+  state_since_ = now;
+  drain_deadline_ = now + kDrainAbortTimeout;
+  expected_.clear();
+  for (Direction d : kMeshDirections) {
+    const NodeId p = partner(d);
+    if (p == kInvalidNode) continue;
+    expected_.push_back(Expected{d, p, false});
+    send(now, HsType::kDrainReq, d, p);
+  }
+}
+
+void HandshakeController::abort_drain(Cycle now) {
+  for (const Expected& e : expected_) {
+    send(now, HsType::kDrainAbort, e.dir, e.partner);
+  }
+  expected_.clear();
+  state_ = PowerState::kActive;
+  state_since_ = now;
+  drain_aborts_++;
+  owner_->set_ni_stalled(id_, false);
+}
+
+void HandshakeController::enter_sleep(Cycle now) {
+  router_->set_mode(RouterMode::kBypass, now);
+  state_ = PowerState::kSleep;
+  state_since_ = now;
+  expected_.clear();
+  wakeup_pending_ = false;
+  sleep_entries_++;
+  const NeighborhoodView& v = router_->view();
+  for (Direction d : kMeshDirections) {
+    // Tell each side who their new logical neighbor beyond me is.
+    const NodeId beyond = v.logical[dir_index(opposite(d))];
+    send(now, HsType::kSleepNotify, d, partner(d), beyond);
+  }
+  owner_->sleep_handover(id_, now);
+}
+
+void HandshakeController::enter_wakeup(Cycle now) {
+  total_sleep_cycles_ += now - state_since_;
+  state_ = PowerState::kWakeup;
+  state_since_ = now;
+  wake_drained_ = false;
+  power_on_ready_ = kNeverCycle;
+  expected_.clear();
+  const NeighborhoodView& v = router_->view();
+  for (Direction d : kMeshDirections) {
+    const NodeId p = v.logical[dir_index(d)];
+    if (p == kInvalidNode) continue;
+    expected_.push_back(Expected{d, p, false});
+    send(now, HsType::kWakeupNotify, d, p);
+  }
+}
+
+void HandshakeController::enter_active(Cycle now) {
+  router_->set_mode(RouterMode::kPipeline, now);
+  owner_->wake_handover(id_, now);
+  state_ = PowerState::kActive;
+  state_since_ = now;
+  wakeup_pending_ = false;
+  wake_completions_++;
+  owner_->set_ni_stalled(id_, false);
+  for (Direction d : kMeshDirections) {
+    const NodeId p = router_->view().logical[dir_index(d)];
+    send(now, HsType::kActiveNotify, d, p);
+  }
+  expected_.clear();
+}
+
+void HandshakeController::service_obligations(Cycle now) {
+  for (auto it = owed_.begin(); it != owed_.end();) {
+    const bool pipeline_idle = router_->mode() != RouterMode::kPipeline ||
+                               router_->output_port_idle(it->dir);
+    const bool latch_idle = router_->latch_empty(it->dir);
+    if (pipeline_idle && latch_idle &&
+        owner_->path_clear(id_, it->dir, it->requester)) {
+      send(now, HsType::kDrainDone, it->dir, it->requester);
+      it = owed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HandshakeController::step(Cycle now) {
+  service_obligations(now);
+  switch (state_) {
+    case PowerState::kActive:
+      if (core_gated_ && can_start_drain(now)) enter_draining(now);
+      break;
+    case PowerState::kDraining: {
+      if (!core_gated_) {
+        abort_drain(now);
+        break;
+      }
+      if (now >= drain_deadline_) {
+        abort_drain(now);
+        break;
+      }
+      bool all_done = true;
+      for (const Expected& e : expected_) all_done &= e.done;
+      if (all_done && router_->completely_empty()) enter_sleep(now);
+      break;
+    }
+    case PowerState::kSleep:
+      if ((!core_gated_ || wakeup_pending_) && can_start_wakeup()) {
+        enter_wakeup(now);
+      }
+      break;
+    case PowerState::kWakeup: {
+      if (!wake_drained_) {
+        bool all_done = true;
+        for (const Expected& e : expected_) all_done &= e.done;
+        if (all_done && router_->latches_empty()) {
+          wake_drained_ = true;
+          power_on_ready_ = now + params_.wakeup_latency;
+        }
+      }
+      if (wake_drained_ && now >= power_on_ready_) enter_active(now);
+      break;
+    }
+  }
+}
+
+void HandshakeController::trigger_wakeup(Cycle now) {
+  (void)now;
+  if (state_ == PowerState::kSleep) wakeup_pending_ = true;
+}
+
+void HandshakeController::update_psr(Direction from_dir,
+                                     const HsMessage& msg) {
+  NeighborhoodView& v = router_->view();
+  const int d = dir_index(from_dir);
+  const MeshGeometry& geom = owner_->network().geom();
+  const bool adjacent = geom.neighbor(id_, from_dir) == msg.from;
+
+  // Nearest-wins rule: while the recorded logical neighbor is mid-
+  // transition (Draining/Wakeup), signals from FARTHER routers in the same
+  // direction — which only reach us because the transitioning router still
+  // relays — must not re-point the PSR or lift the output mask. The nearer
+  // router's own completion signal will arrive and supersede them.
+  const NodeId cur = v.logical[d];
+  if (cur != kInvalidNode && cur != msg.from &&
+      (v.logical_state[d] == PowerState::kDraining ||
+       v.logical_state[d] == PowerState::kWakeup) &&
+      geom.hops(id_, msg.from) > geom.hops(id_, cur)) {
+    return;
+  }
+  switch (msg.type) {
+    case HsType::kDrainReq:
+      if (adjacent) v.physical[d] = PowerState::kDraining;
+      if (v.logical[d] == msg.from) v.logical_state[d] = PowerState::kDraining;
+      v.output_blocked[d] = true;
+      break;
+    case HsType::kDrainAbort:
+      if (adjacent) v.physical[d] = PowerState::kActive;
+      if (v.logical[d] == msg.from) v.logical_state[d] = PowerState::kActive;
+      v.output_blocked[d] = false;
+      break;
+    case HsType::kDrainDone:
+      break;
+    case HsType::kSleepNotify:
+      if (adjacent) v.physical[d] = PowerState::kSleep;
+      v.logical[d] = msg.logical_beyond;
+      v.logical_state[d] = PowerState::kActive;
+      v.output_blocked[d] = false;
+      break;
+    case HsType::kWakeupNotify:
+      if (adjacent) v.physical[d] = PowerState::kWakeup;
+      v.logical[d] = msg.from;
+      v.logical_state[d] = PowerState::kWakeup;
+      v.output_blocked[d] = true;
+      break;
+    case HsType::kActiveNotify:
+      if (adjacent) v.physical[d] = PowerState::kActive;
+      v.logical[d] = msg.from;
+      v.logical_state[d] = PowerState::kActive;
+      v.output_blocked[d] = false;
+      break;
+    case HsType::kWakeupTrigger:
+      break;
+  }
+}
+
+bool HandshakeController::on_signal(const HsMessage& msg, Cycle now) {
+  const Direction from_dir = opposite(msg.travel);
+  update_psr(from_dir, msg);
+
+  const bool is_target = msg.target == id_;
+  const bool powered =
+      state_ == PowerState::kActive || state_ == PowerState::kDraining;
+  if (!is_target && !powered) return false;  // sleeping/waking: forward
+
+  switch (msg.type) {
+    case HsType::kDrainReq:
+      if (state_ == PowerState::kDraining) {
+        // Simultaneous drains: the smaller id proceeds (Section IV-A).
+        if (msg.from < id_) abort_drain(now);
+        owed_.push_back(Obligation{from_dir, msg.from});
+      } else if (state_ == PowerState::kWakeup) {
+        // Draining–Wakeup conflict: Wakeup has priority; make the drain
+        // requester abort by announcing the wakeup to it directly.
+        send(now, HsType::kWakeupNotify, from_dir, msg.from);
+      } else if (state_ == PowerState::kSleep) {
+        // Stale addressing: the requester thought this router was powered.
+        // Re-announce the sleep so it re-points its PSRs.
+        send(now, HsType::kSleepNotify, from_dir, msg.from,
+             router_->view().logical[dir_index(opposite(from_dir))]);
+      } else {
+        owed_.push_back(Obligation{from_dir, msg.from});
+      }
+      break;
+    case HsType::kDrainAbort:
+      // The aborting router no longer needs our drain_done.
+      owed_.erase(std::remove_if(owed_.begin(), owed_.end(),
+                                 [&](const Obligation& o) {
+                                   return o.requester == msg.from;
+                                 }),
+                  owed_.end());
+      break;
+    case HsType::kDrainDone:
+      for (Expected& e : expected_) {
+        if (e.partner == msg.from) e.done = true;
+      }
+      break;
+    case HsType::kWakeupNotify:
+      if (state_ == PowerState::kDraining) abort_drain(now);
+      // We are (one of) the waking router's logical partners: we owe it a
+      // drain_done once our in-flight deliveries toward it finish. Two
+      // concurrently waking routers owe each other the same.
+      if (state_ != PowerState::kSleep) {
+        owed_.push_back(Obligation{from_dir, msg.from});
+      }
+      break;
+    case HsType::kSleepNotify:
+    case HsType::kActiveNotify:
+      break;  // PSR update already applied
+    case HsType::kWakeupTrigger:
+      if (is_target) {
+        trigger_wakeup(now);
+        return true;
+      }
+      // A powered router between requester and target absorbs and drops
+      // the trigger: the requester's view was stale and will self-correct.
+      break;
+  }
+  return true;
+}
+
+}  // namespace flov

@@ -1,0 +1,130 @@
+// HandShake Control logic (HSC) — one per router (paper Sections III/IV).
+//
+// Implements the power-state FSM (Active -> Draining -> Sleep -> Wakeup ->
+// Active, Fig. 2) and the rFLOV/gFLOV handshake protocols:
+//   * drain request/abort/done signalling with smaller-id arbitration for
+//     simultaneous drains;
+//   * rFLOV: handshakes with physical neighbors only, and refuses to drain
+//     unless all physical neighbors are Active (no two adjacent routers
+//     gated);
+//   * gFLOV: handshakes with logical neighbors (nearest powered-on, relayed
+//     across sleeping runs), forbids Draining–Draining and Draining–Wakeup
+//     logical pairs (Wakeup priority), and defers wakeup while a logical
+//     neighbor drains;
+//   * wakeup with the Table-I 10-cycle power-on latency, triggered by the
+//     core waking or by a WakeupTrigger for an incoming packet.
+//
+// Engineering addition (documented in DESIGN.md): a draining router aborts
+// back to Active after `drain_abort_timeout` cycles. This breaks a corner
+// case the paper does not address, where a draining router holds a packet
+// whose sleeping destination defers its own wakeup *because of* the drain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "flov/handshake_signals.hpp"
+#include "noc/noc_params.hpp"
+#include "noc/power_state.hpp"
+
+namespace flov {
+
+class Router;
+class SignalFabric;
+class FlovNetwork;
+
+enum class FlovMode : std::uint8_t {
+  kRestricted = 0,  ///< rFLOV
+  kGeneralized,     ///< gFLOV
+};
+
+class HandshakeController {
+ public:
+  HandshakeController(NodeId id, FlovMode mode, const NocParams& params,
+                      Router* router, SignalFabric* fabric,
+                      FlovNetwork* owner);
+
+  NodeId id() const { return id_; }
+  PowerState state() const { return state_; }
+  bool core_gated() const { return core_gated_; }
+  bool wakeup_pending() const { return wakeup_pending_; }
+
+  void set_core_gated(bool gated, Cycle now);
+
+  /// Per-cycle FSM evaluation (after routers and signal deliveries).
+  void step(Cycle now);
+
+  /// Signal arrival; returns true if this router absorbs it.
+  bool on_signal(const HsMessage& msg, Cycle now);
+
+  /// A neighbor holds a packet for this router's core (hold-for-wakeup).
+  void trigger_wakeup(Cycle now);
+
+  // Stats for tests/benches.
+  std::uint64_t sleep_entries() const { return sleep_entries_; }
+  std::uint64_t wake_completions() const { return wake_completions_; }
+  std::uint64_t drain_aborts() const { return drain_aborts_; }
+  /// Cycles spent power-gated (Sleep state) up to `now`.
+  Cycle sleep_cycles(Cycle now) const {
+    Cycle t = total_sleep_cycles_;
+    if (state_ == PowerState::kSleep) t += now - state_since_;
+    return t;
+  }
+
+  /// How long a drain may stall before aborting back to Active.
+  static constexpr Cycle kDrainAbortTimeout = 2048;
+
+ private:
+  struct Expected {
+    Direction dir;
+    NodeId partner;
+    bool done = false;
+  };
+  struct Obligation {
+    Direction dir;
+    NodeId requester;
+  };
+
+  bool can_start_drain(Cycle now) const;
+  bool can_start_wakeup() const;
+  void enter_draining(Cycle now);
+  void abort_drain(Cycle now);
+  void enter_sleep(Cycle now);
+  void enter_wakeup(Cycle now);
+  void enter_active(Cycle now);
+  void service_obligations(Cycle now);
+  void update_psr(Direction from_dir, const HsMessage& msg);
+  /// Handshake partner in direction `d` (physical for rFLOV, logical for
+  /// gFLOV); kInvalidNode if none.
+  NodeId partner(Direction d) const;
+  void send(Cycle now, HsType type, Direction travel, NodeId target,
+            NodeId logical_beyond = kInvalidNode);
+
+  NodeId id_;
+  FlovMode mode_;
+  NocParams params_;
+  Router* router_;
+  SignalFabric* fabric_;
+  FlovNetwork* owner_;
+
+  PowerState state_ = PowerState::kActive;
+  bool core_gated_ = false;
+  Cycle state_since_ = 0;
+  Cycle drain_deadline_ = kNeverCycle;
+
+  std::vector<Expected> expected_;
+  std::vector<Obligation> owed_;
+
+  bool wakeup_pending_ = false;
+  bool wake_drained_ = false;
+  Cycle power_on_ready_ = kNeverCycle;
+
+  std::uint64_t sleep_entries_ = 0;
+  std::uint64_t wake_completions_ = 0;
+  std::uint64_t drain_aborts_ = 0;
+  Cycle total_sleep_cycles_ = 0;
+};
+
+}  // namespace flov

@@ -1,0 +1,52 @@
+#include "flov/signal_fabric.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+const char* to_string(HsType t) {
+  switch (t) {
+    case HsType::kDrainReq: return "DrainReq";
+    case HsType::kDrainAbort: return "DrainAbort";
+    case HsType::kDrainDone: return "DrainDone";
+    case HsType::kSleepNotify: return "SleepNotify";
+    case HsType::kWakeupNotify: return "WakeupNotify";
+    case HsType::kActiveNotify: return "ActiveNotify";
+    case HsType::kWakeupTrigger: return "WakeupTrigger";
+  }
+  return "?";
+}
+
+void SignalFabric::send(Cycle now, const HsMessage& msg) {
+  const NodeId next = geom_.neighbor(msg.from, msg.travel);
+  if (next == kInvalidNode) return;  // signaling off the mesh edge is a no-op
+  queue_.push_back(InFlight{now + 1, next, msg});
+  if (power_) power_->count(EnergyEvent::kHandshakeSignal);
+}
+
+void SignalFabric::step(Cycle now) {
+  FLOV_CHECK(handler_ != nullptr, "signal fabric without handler");
+  // Deliveries may enqueue forwarded copies (deliver_at = now + 1), which
+  // must not be processed this cycle.
+  std::deque<InFlight> due;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deliver_at <= now) {
+      due.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const InFlight& f : due) {
+    const bool absorbed = handler_(f.next, f.msg);
+    if (absorbed) continue;
+    const NodeId next = geom_.neighbor(f.next, f.msg.travel);
+    if (next == kInvalidNode) continue;  // ran off the edge: signal dies
+    queue_.push_back(InFlight{now + 1, next, f.msg});
+    if (power_) power_->count(EnergyEvent::kHandshakeSignal);
+  }
+}
+
+}  // namespace flov

@@ -1,0 +1,54 @@
+// Hop-by-hop delivery of out-of-band handshake signals.
+//
+// A signal injected at router A traveling direction d reaches A's neighbor
+// one cycle later. Each receiver decides (via its handler) whether it
+// absorbs the signal (powered routers do) or forwards it to the next router
+// along d (sleeping routers do, after updating their PSRs). This reproduces
+// both the 1-cycle-per-hop control-wire timing and the gFLOV relay
+// behaviour without any router seeing non-local state.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/geometry.hpp"
+#include "flov/handshake_signals.hpp"
+#include "power/power_tracker.hpp"
+
+namespace flov {
+
+class SignalFabric {
+ public:
+  /// Handler: invoked at `at` when a message arrives; returns true if the
+  /// router absorbs the signal (stops propagation).
+  using Handler = std::function<bool(NodeId at, const HsMessage&)>;
+
+  SignalFabric(const MeshGeometry& geom, PowerTracker* power)
+      : geom_(geom), power_(power) {}
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Injects a signal at `msg.from`, traveling `msg.travel`; first delivery
+  /// happens next cycle at the adjacent router.
+  void send(Cycle now, const HsMessage& msg);
+
+  /// Delivers everything due at `now` (called once per cycle, after the
+  /// routers have stepped).
+  void step(Cycle now);
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct InFlight {
+    Cycle deliver_at;
+    NodeId next;  ///< router about to receive it
+    HsMessage msg;
+  };
+
+  const MeshGeometry& geom_;
+  PowerTracker* power_;
+  Handler handler_;
+  std::deque<InFlight> queue_;  ///< kept sorted by deliver_at (FIFO sends)
+};
+
+}  // namespace flov

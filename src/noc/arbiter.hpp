@@ -1,0 +1,44 @@
+// Round-robin arbiter: N requestors, one grant per invocation, priority
+// rotates past the last winner. Used as the building block of the separable
+// VC and switch allocators.
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int num_inputs)
+      : num_inputs_(num_inputs) {
+    FLOV_CHECK(num_inputs >= 1, "arbiter needs at least one input");
+  }
+
+  int num_inputs() const { return num_inputs_; }
+
+  /// Grants the first requesting input at or after the rotating priority
+  /// pointer; returns -1 if no input requests. Advances the pointer past
+  /// the winner so it has lowest priority next time.
+  int arbitrate(const std::vector<bool>& requests) {
+    FLOV_DCHECK(static_cast<int>(requests.size()) == num_inputs_,
+                "request vector size mismatch");
+    for (int k = 0; k < num_inputs_; ++k) {
+      const int i = (pointer_ + k) % num_inputs_;
+      if (requests[i]) {
+        pointer_ = (i + 1) % num_inputs_;
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  void reset() { pointer_ = 0; }
+
+ private:
+  int num_inputs_;
+  int pointer_ = 0;
+};
+
+}  // namespace flov

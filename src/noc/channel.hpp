@@ -1,0 +1,73 @@
+// Fixed-latency pipelined channel.
+//
+// Models a wire/link: items sent during cycle t become visible to the
+// receiver at t + latency. Because receivers only ever poll items with
+// arrival <= current cycle and senders always tag arrival >= current+1,
+// the per-cycle component update order does not affect results.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Cycle latency = 1) : latency_(latency) {
+    FLOV_CHECK(latency >= 1, "channel latency must be >= 1");
+  }
+
+  Cycle latency() const { return latency_; }
+
+  /// Enqueues an item during cycle `now`; it arrives at now + latency.
+  void send(Cycle now, T item) {
+    FLOV_DCHECK(queue_.empty() || queue_.back().first <= now + latency_,
+                "channel send out of order");
+    queue_.emplace_back(now + latency_, std::move(item));
+  }
+
+  /// Pops the single item arriving at or before `now`, if any.
+  std::optional<T> recv(Cycle now) {
+    if (queue_.empty() || queue_.front().first > now) return std::nullopt;
+    T item = std::move(queue_.front().second);
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Pops every item arriving at or before `now` (credit channels can carry
+  /// several credits per cycle during relay bursts).
+  std::vector<T> recv_all(Cycle now) {
+    std::vector<T> out;
+    while (!queue_.empty() && queue_.front().first <= now) {
+      out.push_back(std::move(queue_.front().second));
+      queue_.pop_front();
+    }
+    return out;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t in_flight() const { return queue_.size(); }
+
+  /// Drops everything in flight (used by the credit-ownership handover at
+  /// FLOV power-state transitions; see flov/ documentation).
+  void clear() { queue_.clear(); }
+
+  /// Visits every in-flight item (read-only); used by the FLOV credit
+  /// handover to account for flits still on the wire.
+  template <typename F>
+  void for_each_in_flight(F&& f) const {
+    for (const auto& [cycle, item] : queue_) f(item);
+  }
+
+ private:
+  Cycle latency_;
+  std::deque<std::pair<Cycle, T>> queue_;
+};
+
+}  // namespace flov

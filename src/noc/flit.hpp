@@ -1,0 +1,69 @@
+// Flit, credit and packet descriptors.
+//
+// Wormhole switching: a packet is a head flit, zero or more body flits and a
+// tail flit (a 1-flit packet is head+tail). Every flit carries the routing
+// metadata it needs; per-hop state (current VC) is rewritten as it moves.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+struct Flit {
+  std::uint64_t packet_id = 0;
+  std::int32_t flit_index = 0;   ///< position within the packet
+  std::int32_t packet_size = 1;  ///< flits in the packet (serialization term)
+  bool head = false;
+  bool tail = false;
+
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  VnetId vnet = 0;
+
+  /// Cycle the packet was created at the source queue (includes queuing
+  /// delay in end-to-end latency, as in BookSim).
+  Cycle gen_cycle = 0;
+  /// Cycle the flit entered the network (left the source queue).
+  Cycle inject_cycle = 0;
+
+  /// VC the flit occupies/will occupy at the (logical) downstream input
+  /// port; computed by the upstream VA, preserved across fly-over hops.
+  VcId vc = -1;
+
+  /// True once the packet is committed to the escape sub-network (it then
+  /// stays there until ejection — Section V).
+  bool escape = false;
+
+  /// Up*/down* phase bit for RP table routing (false until the path takes
+  /// its first "down" link).
+  bool updown_went_down = false;
+
+  // --- latency-breakdown counters, accumulated on the head flit ---
+  std::uint16_t router_hops = 0;  ///< powered-router pipeline traversals
+  std::uint16_t link_hops = 0;    ///< inter-router link traversals
+  std::uint16_t flov_hops = 0;    ///< FLOV latch traversals
+
+  /// Opaque handle for higher layers (the CMP substrate stores message ids).
+  std::uint64_t payload = 0;
+};
+
+/// Credit returned upstream when a flit leaves an input buffer slot.
+struct Credit {
+  VcId vc = -1;
+};
+
+/// Descriptor used by traffic generators / the CMP layer to request a packet
+/// injection; the network interface turns it into flits.
+struct PacketDescriptor {
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  VnetId vnet = 0;
+  std::int32_t size_flits = 1;
+  Cycle gen_cycle = 0;
+  std::uint64_t payload = 0;
+};
+
+}  // namespace flov

@@ -1,0 +1,78 @@
+// Input-side per-VC state of a router port.
+//
+// Pipeline stages move a VC through: kIdle -> (head arrives) kRouting ->
+// (RC) kWaitVc -> (VA) kActive -> ... -> (tail ST) kIdle. `stage_ready`
+// enforces at least one cycle per pipeline stage.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace flov {
+
+enum class VcState : std::uint8_t {
+  kIdle = 0,   ///< no packet resident
+  kRouting,    ///< head buffered, awaiting route computation
+  kWaitVc,     ///< route known, awaiting an output VC (VA stage)
+  kActive,     ///< output VC held; flits compete for the switch (SA stage)
+};
+
+struct InputVc {
+  std::deque<Flit> buffer;
+  VcState state = VcState::kIdle;
+
+  /// Earliest cycle the next pipeline stage may execute.
+  Cycle stage_ready = 0;
+
+  // --- route decision (valid from kWaitVc) ---
+  Direction out_dir = Direction::Local;
+  bool escape_route = false;  ///< request the escape VC class downstream
+
+  /// Granted output VC (absolute index at out_dir), valid in kActive.
+  VcId out_vc = -1;
+
+  /// Cycle of the last forward progress; used for the deadlock-recovery
+  /// timeout (Section V).
+  Cycle wait_since = 0;
+
+  /// True once any flit of the resident packet has been sent downstream
+  /// (the packet can no longer be re-routed to the escape sub-network).
+  bool sent_any = false;
+
+  bool empty() const { return buffer.empty(); }
+  int occupancy() const { return static_cast<int>(buffer.size()); }
+
+  void reset_to_idle() {
+    state = VcState::kIdle;
+    out_vc = -1;
+    escape_route = false;
+    sent_any = false;
+  }
+};
+
+/// One router input port: `depth`-deep buffers for every VC.
+struct InputPort {
+  std::vector<InputVc> vcs;
+
+  bool all_empty() const {
+    for (const auto& vc : vcs) {
+      if (!vc.buffer.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Free buffer slots per VC (used by the FLOV credit-copy handover).
+  std::vector<int> free_slots(int depth) const {
+    std::vector<int> out(vcs.size());
+    for (std::size_t v = 0; v < vcs.size(); ++v) {
+      out[v] = depth - vcs[v].occupancy();
+    }
+    return out;
+  }
+};
+
+}  // namespace flov

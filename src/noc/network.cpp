@@ -1,0 +1,124 @@
+#include "noc/network.hpp"
+
+#include "common/log.hpp"
+
+namespace flov {
+
+Network::Network(const NocParams& params, RoutingFunction* routing,
+                 PowerTracker* power)
+    : params_(params), geom_(params.width, params.height) {
+  params_.validate();
+  const int n = geom_.num_nodes();
+  routers_.reserve(n);
+  nis_.reserve(n);
+  flit_out_.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    routers_.push_back(
+        std::make_unique<Router>(id, geom_, params_, routing, power));
+    nis_.push_back(
+        std::make_unique<NetworkInterface>(id, params_, &packet_id_counter_));
+    flit_out_[id].fill(nullptr);
+  }
+
+  auto new_flit_channel = [&](Cycle latency) {
+    flit_channels_.push_back(std::make_unique<Channel<Flit>>(latency));
+    return flit_channels_.back().get();
+  };
+  auto new_credit_channel = [&](Cycle latency) {
+    credit_channels_.push_back(std::make_unique<Channel<Credit>>(latency));
+    return credit_channels_.back().get();
+  };
+
+  // Inter-router links: one flit channel and one credit back-channel per
+  // directed edge.
+  for (NodeId a = 0; a < n; ++a) {
+    for (Direction d : kMeshDirections) {
+      const NodeId b = geom_.neighbor(a, d);
+      if (b == kInvalidNode) continue;
+      Channel<Flit>* fch = new_flit_channel(params_.link_latency);
+      routers_[a]->connect_flit_out(d, fch);
+      routers_[b]->connect_flit_in(opposite(d), fch);
+      flit_out_[a][dir_index(d)] = fch;
+
+      Channel<Credit>* cch = new_credit_channel(1);
+      routers_[b]->connect_credit_out(opposite(d), cch);
+      routers_[a]->connect_credit_in(d, cch);
+    }
+  }
+
+  // Local ports: NI <-> router.
+  for (NodeId id = 0; id < n; ++id) {
+    Channel<Flit>* inj = new_flit_channel(1);
+    nis_[id]->connect_to_router(inj);
+    routers_[id]->connect_flit_in(Direction::Local, inj);
+    flit_out_[id][dir_index(Direction::Local)] = nullptr;
+
+    Channel<Flit>* ej = new_flit_channel(1);
+    routers_[id]->connect_flit_out(Direction::Local, ej);
+    nis_[id]->connect_from_router(ej);
+
+    Channel<Credit>* cr_up = new_credit_channel(1);
+    routers_[id]->connect_credit_out(Direction::Local, cr_up);
+    nis_[id]->connect_credit_from_router(cr_up);
+
+    Channel<Credit>* cr_down = new_credit_channel(1);
+    nis_[id]->connect_credit_to_router(cr_down);
+    routers_[id]->connect_credit_in(Direction::Local, cr_down);
+  }
+}
+
+void Network::step(Cycle now) {
+  for (auto& r : routers_) r->step(now);
+  for (auto& ni : nis_) ni->step(now);
+}
+
+void Network::set_eject_callback(
+    std::function<void(const PacketRecord&)> cb) {
+  for (auto& ni : nis_) ni->set_eject_callback(cb);
+}
+
+bool Network::idle() const {
+  for (const auto& r : routers_) {
+    if (!r->completely_empty()) return false;
+  }
+  for (const auto& ni : nis_) {
+    if (!ni->idle()) return false;
+  }
+  for (const auto& ch : flit_channels_) {
+    if (!ch->empty()) return false;
+  }
+  return true;
+}
+
+bool Network::in_flight_empty() const {
+  for (const auto& r : routers_) {
+    if (!r->completely_empty()) return false;
+  }
+  for (const auto& ni : nis_) {
+    if (ni->streams_active()) return false;
+  }
+  for (const auto& ch : flit_channels_) {
+    if (!ch->empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Network::total_injected_flits() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->injected_flits();
+  return t;
+}
+
+std::uint64_t Network::total_ejected_flits() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->ejected_flits();
+  return t;
+}
+
+std::uint64_t Network::total_queued_packets() const {
+  std::uint64_t t = 0;
+  for (const auto& ni : nis_) t += ni->queued_packets();
+  return t;
+}
+
+}  // namespace flov

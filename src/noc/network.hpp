@@ -1,0 +1,77 @@
+// The k x k mesh: routers, network interfaces, and the channels that wire
+// them. The Network is policy-free — power-gating schemes (flov/, rp/) wrap
+// it and drive router modes, neighborhood views, and injection stalls.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/channel.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/noc_params.hpp"
+#include "noc/router.hpp"
+#include "noc/routing_iface.hpp"
+#include "power/power_tracker.hpp"
+
+namespace flov {
+
+class Network {
+ public:
+  /// `routing` and `power` are borrowed (must outlive the network);
+  /// `power` may be null for pure-functional tests.
+  Network(const NocParams& params, RoutingFunction* routing,
+          PowerTracker* power);
+
+  const NocParams& params() const { return params_; }
+  const MeshGeometry& geom() const { return geom_; }
+
+  Router& router(NodeId id) { return *routers_[id]; }
+  const Router& router(NodeId id) const { return *routers_[id]; }
+  NetworkInterface& ni(NodeId id) { return *nis_[id]; }
+  const NetworkInterface& ni(NodeId id) const { return *nis_[id]; }
+  int num_nodes() const { return geom_.num_nodes(); }
+
+  /// Advances every router, then every NI, by one cycle.
+  void step(Cycle now);
+
+  void enqueue(const PacketDescriptor& pkt) { nis_[pkt.src]->enqueue(pkt); }
+
+  /// Installs the same ejection callback on every NI.
+  void set_eject_callback(std::function<void(const PacketRecord&)> cb);
+
+  /// No flits anywhere: buffers, latches, channels, NI queues/streams.
+  bool idle() const;
+
+  /// No flits in flight (buffers/latches/channels/mid-injection streams);
+  /// NI queues MAY hold packets — this is RP's drain condition, under
+  /// which queued traffic accumulates (the Fig. 10 queuing delay).
+  bool in_flight_empty() const;
+
+  std::uint64_t total_injected_flits() const;
+  std::uint64_t total_ejected_flits() const;
+  std::uint64_t total_queued_packets() const;
+
+  /// The inter-router flit channel leaving `node` toward `d` (null at mesh
+  /// edges). Exposed for the FLOV credit-handover and for tests.
+  Channel<Flit>* flit_channel(NodeId node, Direction d) {
+    return flit_out_[node][dir_index(d)];
+  }
+
+ private:
+  NocParams params_;
+  MeshGeometry geom_;
+
+  std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
+  std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  /// flit_out_[node][dir] aliases the channel owned by flit_channels_.
+  std::vector<std::array<Channel<Flit>*, kNumPorts>> flit_out_;
+
+  std::uint64_t packet_id_counter_ = 1;
+};
+
+}  // namespace flov

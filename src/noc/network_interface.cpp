@@ -1,0 +1,129 @@
+#include "noc/network_interface.hpp"
+
+#include "common/log.hpp"
+
+namespace flov {
+
+NetworkInterface::NetworkInterface(NodeId node, const NocParams& params,
+                                   std::uint64_t* packet_id_counter)
+    : node_(node),
+      params_(params),
+      packet_id_counter_(packet_id_counter),
+      credits_(params.total_vcs(), params.buffer_depth),
+      vc_busy_(params.total_vcs(), false) {
+  FLOV_CHECK(packet_id_counter_ != nullptr, "NI needs a packet id counter");
+}
+
+void NetworkInterface::step(Cycle now) {
+  // Credits returned by the router for previously injected flits.
+  if (credit_from_) {
+    for (const Credit& c : credit_from_->recv_all(now)) {
+      credits_[c.vc]++;
+      FLOV_DCHECK(credits_[c.vc] <= params_.buffer_depth, "NI credit overflow");
+    }
+  }
+  eject(now);
+  inject(now);
+}
+
+void NetworkInterface::eject(Cycle now) {
+  if (!from_router_) return;
+  while (auto f = from_router_->recv(now)) {
+    ejected_flits_++;
+    // The NI consumes instantly, so the slot frees immediately.
+    FLOV_CHECK(credit_to_ != nullptr, "unwired ejection credit channel");
+    credit_to_->send(now, Credit{f->vc});
+    if (f->head) {
+      FLOV_CHECK(pending_heads_.count(f->packet_id) == 0,
+                 "duplicate head flit");
+      pending_heads_[f->packet_id] = *f;
+    }
+    if (f->tail) {
+      auto it = pending_heads_.find(f->packet_id);
+      FLOV_CHECK(it != pending_heads_.end(), "tail without head");
+      const Flit& head = it->second;
+      PacketRecord rec;
+      rec.packet_id = head.packet_id;
+      rec.src = head.src;
+      rec.dest = head.dest;
+      rec.vnet = head.vnet;
+      rec.size_flits = head.packet_size;
+      rec.gen_cycle = head.gen_cycle;
+      rec.inject_cycle = head.inject_cycle;
+      rec.eject_cycle = now;
+      rec.router_hops = head.router_hops;
+      rec.link_hops = head.link_hops;
+      rec.flov_hops = head.flov_hops;
+      rec.used_escape = head.escape || f->escape;
+      rec.payload = head.payload;
+      ejected_packets_++;
+      pending_heads_.erase(it);
+      if (eject_cb_) eject_cb_(rec);
+    }
+  }
+}
+
+void NetworkInterface::inject(Cycle now) {
+  // Start a new stream if a regular VC of the packet's vnet is idle.
+  if (!queue_.empty() && !stalled_) {
+    const PacketDescriptor& pkt = queue_.front();
+    const int base = pkt.vnet * params_.vcs_per_vnet;
+    VcId chosen = -1;
+    for (int w = 0; w < params_.vcs_per_vnet; ++w) {
+      if (params_.escape_vc >= 0 && w == params_.escape_vc) continue;
+      const VcId abs = base + w;
+      if (!vc_busy_[abs]) {
+        chosen = abs;
+        break;
+      }
+    }
+    if (chosen >= 0) {
+      Stream s;
+      s.pkt = pkt;
+      s.packet_id = (*packet_id_counter_)++;
+      s.next_flit = 0;
+      s.inject_cycle = now;
+      vc_busy_[chosen] = true;
+      streams_.emplace(chosen, s);
+      queue_.pop_front();
+    }
+  }
+
+  // Send one flit this cycle from one stream (round-robin across VCs).
+  if (streams_.empty() || !to_router_) return;
+  const int nvc = params_.total_vcs();
+  for (int k = 0; k < nvc; ++k) {
+    const VcId v = (rr_vc_ + k) % nvc;
+    auto it = streams_.find(v);
+    if (it == streams_.end()) continue;
+    if (credits_[v] <= 0) continue;
+    Stream& s = it->second;
+
+    Flit f;
+    f.packet_id = s.packet_id;
+    f.flit_index = s.next_flit;
+    f.packet_size = s.pkt.size_flits;
+    f.head = (s.next_flit == 0);
+    f.tail = (s.next_flit == s.pkt.size_flits - 1);
+    f.src = s.pkt.src;
+    f.dest = s.pkt.dest;
+    f.vnet = s.pkt.vnet;
+    f.gen_cycle = s.pkt.gen_cycle;
+    f.inject_cycle = s.inject_cycle;
+    f.vc = v;
+    f.payload = s.pkt.payload;
+
+    credits_[v]--;
+    to_router_->send(now, f);
+    injected_flits_++;
+    s.next_flit++;
+    if (f.tail) {
+      vc_busy_[v] = false;
+      streams_.erase(it);
+    }
+    rr_vc_ = (v + 1) % nvc;
+    break;
+  }
+}
+
+}  // namespace flov

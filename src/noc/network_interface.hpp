@@ -1,0 +1,122 @@
+// Network interface (NI): the core-side endpoint of a router's local port.
+//
+// Injection: packet descriptors queue here, are flitized, and enter the
+// router's local input port under credit flow control (one flit per cycle;
+// concurrent packets may interleave across different VCs, as in BookSim).
+// Ejection: flits arriving on the router's local output port are consumed
+// immediately, credits are returned, and completed packets are reported to
+// the ejection callback with their latency-breakdown counters.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/channel.hpp"
+#include "noc/flit.hpp"
+#include "noc/noc_params.hpp"
+
+namespace flov {
+
+/// Completed-packet report (one per ejected packet).
+struct PacketRecord {
+  std::uint64_t packet_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  VnetId vnet = 0;
+  int size_flits = 0;
+  Cycle gen_cycle = 0;     ///< created at the source queue
+  Cycle inject_cycle = 0;  ///< head flit left the source queue
+  Cycle eject_cycle = 0;   ///< tail flit consumed at the destination
+  int router_hops = 0;     ///< powered-router pipeline traversals (head)
+  int link_hops = 0;       ///< link traversals (head)
+  int flov_hops = 0;       ///< FLOV latch traversals (head)
+  bool used_escape = false;
+  std::uint64_t payload = 0;
+
+  Cycle total_latency() const { return eject_cycle - gen_cycle; }
+};
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId node, const NocParams& params,
+                   std::uint64_t* packet_id_counter);
+
+  // Wiring (non-owning), mirror of the router's local port.
+  void connect_to_router(Channel<Flit>* ch) { to_router_ = ch; }
+  void connect_from_router(Channel<Flit>* ch) { from_router_ = ch; }
+  void connect_credit_from_router(Channel<Credit>* ch) { credit_from_ = ch; }
+  void connect_credit_to_router(Channel<Credit>* ch) { credit_to_ = ch; }
+
+  void set_eject_callback(std::function<void(const PacketRecord&)> cb) {
+    eject_cb_ = std::move(cb);
+  }
+
+  /// Queues a packet for injection.
+  void enqueue(const PacketDescriptor& pkt) { queue_.push_back(pkt); }
+
+  /// When true the NI refuses to START new packets (used by RP's Phase-I
+  /// reconfiguration stall; queued packets keep their gen_cycle so the
+  /// stall shows up as queuing latency, as in Fig. 10).
+  void set_injection_stalled(bool stalled) { stalled_ = stalled; }
+  bool injection_stalled() const { return stalled_; }
+
+  void step(Cycle now);
+
+  bool idle() const { return queue_.empty() && streams_.empty(); }
+  /// True while a packet is mid-injection (some flits sent, tail pending).
+  bool streams_active() const { return !streams_.empty(); }
+  /// Removes queued (not yet started) packets matching `pred`; returns the
+  /// number removed. Used by RP to void packets whose destination was
+  /// parked between generation and injection.
+  template <typename Pred>
+  std::size_t purge_queue(Pred&& pred) {
+    const std::size_t before = queue_.size();
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(), pred),
+                 queue_.end());
+    return before - queue_.size();
+  }
+  std::size_t queued_packets() const { return queue_.size(); }
+  std::uint64_t injected_flits() const { return injected_flits_; }
+  std::uint64_t ejected_flits() const { return ejected_flits_; }
+  std::uint64_t ejected_packets() const { return ejected_packets_; }
+
+ private:
+  struct Stream {
+    PacketDescriptor pkt;
+    std::uint64_t packet_id = 0;
+    int next_flit = 0;
+    Cycle inject_cycle = 0;
+  };
+
+  void eject(Cycle now);
+  void inject(Cycle now);
+
+  NodeId node_;
+  NocParams params_;
+  std::uint64_t* packet_id_counter_;
+
+  Channel<Flit>* to_router_ = nullptr;
+  Channel<Flit>* from_router_ = nullptr;
+  Channel<Credit>* credit_from_ = nullptr;
+  Channel<Credit>* credit_to_ = nullptr;
+
+  std::deque<PacketDescriptor> queue_;
+  std::map<VcId, Stream> streams_;   ///< in-flight injection per local VC
+  std::vector<int> credits_;         ///< free slots per local input VC
+  std::vector<bool> vc_busy_;        ///< local VC mid-packet (until tail sent)
+  int rr_vc_ = 0;
+
+  std::map<std::uint64_t, Flit> pending_heads_;  ///< head held until tail
+  std::function<void(const PacketRecord&)> eject_cb_;
+  bool stalled_ = false;
+
+  std::uint64_t injected_flits_ = 0;
+  std::uint64_t ejected_flits_ = 0;
+  std::uint64_t ejected_packets_ = 0;
+};
+
+}  // namespace flov

@@ -1,0 +1,68 @@
+// Network configuration parameters (the paper's Table I defaults).
+#pragma once
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+struct NocParams {
+  int width = 8;
+  int height = 8;
+  int num_vnets = 1;      ///< 1 for synthetic traffic, 3 for the CMP system
+  int vcs_per_vnet = 4;   ///< 3 regular + 1 escape (Table I)
+  int escape_vc = 3;      ///< per-vnet index of the escape VC; -1 = none
+  int buffer_depth = 6;   ///< flits per VC (Table I)
+  int packet_size = 4;    ///< flits per synthetic packet (Table I)
+  Cycle link_latency = 1; ///< 1 mm, 1 cycle (Table I)
+  Cycle deadlock_timeout = 128;  ///< head-of-line wait before escape VC
+  /// Whether blocked packets may divert into the escape sub-network.
+  /// Enabled for FLOV (Duato-style recovery); disabled for Baseline/RP,
+  /// whose routing functions are inherently deadlock-free.
+  bool enable_escape_diversion = true;
+  Cycle wakeup_latency = 10;     ///< power-on delay (Table I)
+  Cycle drain_idle_threshold = 16;  ///< local-port quiet time before drain
+
+  int total_vcs() const { return num_vnets * vcs_per_vnet; }
+  int vnet_of_vc(VcId vc) const { return vc / vcs_per_vnet; }
+  int vc_in_vnet(VcId vc) const { return vc % vcs_per_vnet; }
+  bool is_escape_vc(VcId vc) const {
+    return escape_vc >= 0 && vc_in_vnet(vc) == escape_vc;
+  }
+
+  static NocParams from_config(const Config& cfg) {
+    NocParams p;
+    p.width = static_cast<int>(cfg.get_int("noc.width", p.width));
+    p.height = static_cast<int>(cfg.get_int("noc.height", p.height));
+    p.num_vnets = static_cast<int>(cfg.get_int("noc.num_vnets", p.num_vnets));
+    p.vcs_per_vnet =
+        static_cast<int>(cfg.get_int("noc.vcs_per_vnet", p.vcs_per_vnet));
+    p.escape_vc = static_cast<int>(cfg.get_int("noc.escape_vc", p.escape_vc));
+    p.buffer_depth =
+        static_cast<int>(cfg.get_int("noc.buffer_depth", p.buffer_depth));
+    p.packet_size =
+        static_cast<int>(cfg.get_int("noc.packet_size", p.packet_size));
+    p.link_latency = cfg.get_int("noc.link_latency", p.link_latency);
+    p.deadlock_timeout =
+        cfg.get_int("noc.deadlock_timeout", p.deadlock_timeout);
+    p.enable_escape_diversion = cfg.get_bool("noc.enable_escape_diversion",
+                                             p.enable_escape_diversion);
+    p.wakeup_latency = cfg.get_int("noc.wakeup_latency", p.wakeup_latency);
+    p.drain_idle_threshold =
+        cfg.get_int("noc.drain_idle_threshold", p.drain_idle_threshold);
+    p.validate();
+    return p;
+  }
+
+  void validate() const {
+    FLOV_CHECK(width >= 2 && height >= 2, "mesh must be at least 2x2");
+    FLOV_CHECK(num_vnets >= 1, "need at least one vnet");
+    FLOV_CHECK(vcs_per_vnet >= 1, "need at least one VC per vnet");
+    FLOV_CHECK(escape_vc < vcs_per_vnet, "escape VC out of range");
+    FLOV_CHECK(buffer_depth >= 1, "buffer depth must be positive");
+    FLOV_CHECK(packet_size >= 1, "packet size must be positive");
+  }
+};
+
+}  // namespace flov

@@ -1,0 +1,46 @@
+// Output-side per-VC state of a router port: allocation (which input VC owns
+// the downstream VC) and the credit counter tracking free buffer slots at
+// the *logical* downstream router (the nearest powered-on one — Section III,
+// Credit Control Logic).
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+struct OutputVcState {
+  bool allocated = false;
+  int owner_port = -1;   ///< input port holding this output VC
+  VcId owner_vc = -1;    ///< input VC holding this output VC
+  int credits = 0;       ///< free slots at the logical downstream input VC
+};
+
+struct OutputPort {
+  std::vector<OutputVcState> vcs;
+
+  void init(int num_vcs, int depth) {
+    vcs.assign(num_vcs, OutputVcState{});
+    for (auto& v : vcs) v.credits = depth;
+  }
+
+  bool any_allocated() const {
+    for (const auto& v : vcs) {
+      if (v.allocated) return true;
+    }
+    return false;
+  }
+
+  /// Reloads every credit counter (FLOV credit-copy at Sleep/Active
+  /// transitions). `free_counts` is indexed by absolute VC.
+  void reload_credits(const std::vector<int>& free_counts) {
+    FLOV_CHECK(free_counts.size() == vcs.size(), "credit reload size");
+    for (std::size_t v = 0; v < vcs.size(); ++v) {
+      vcs[v].credits = free_counts[v];
+    }
+  }
+};
+
+}  // namespace flov

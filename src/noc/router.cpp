@@ -1,0 +1,516 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+const char* to_string(PowerState s) {
+  switch (s) {
+    case PowerState::kActive: return "Active";
+    case PowerState::kDraining: return "Draining";
+    case PowerState::kSleep: return "Sleep";
+    case PowerState::kWakeup: return "Wakeup";
+  }
+  return "?";
+}
+
+Router::Router(NodeId id, const MeshGeometry& geom, const NocParams& params,
+               RoutingFunction* routing, PowerTracker* power)
+    : id_(id), geom_(geom), params_(params), routing_(routing),
+      power_(power) {
+  FLOV_CHECK(routing_ != nullptr, "router needs a routing function");
+  const int nvc = params_.total_vcs();
+  for (int p = 0; p < kNumPorts; ++p) {
+    input_[p].vcs.assign(nvc, InputVc{});
+    output_[p].init(nvc, params_.buffer_depth);
+    sa_input_arb_.emplace_back(nvc);
+    sa_output_arb_.emplace_back(kNumPorts);
+  }
+  // Until a handshake layer says otherwise, every physical neighbor is the
+  // logical neighbor and is Active.
+  for (Direction d : kMeshDirections) {
+    view_.logical[dir_index(d)] = geom_.neighbor(id_, d);
+  }
+}
+
+void Router::connect_flit_in(Direction port, Channel<Flit>* ch) {
+  in_flit_[dir_index(port)] = ch;
+}
+void Router::connect_flit_out(Direction port, Channel<Flit>* ch) {
+  out_flit_[dir_index(port)] = ch;
+}
+void Router::connect_credit_out(Direction port, Channel<Credit>* ch) {
+  credit_out_[dir_index(port)] = ch;
+}
+void Router::connect_credit_in(Direction port, Channel<Credit>* ch) {
+  credit_in_[dir_index(port)] = ch;
+}
+
+void Router::step(Cycle now) {
+  if (mode_ == RouterMode::kParked) {
+    // The fabric manager guarantees no traffic reaches a parked router.
+    for (int p = 0; p < kNumPorts; ++p) {
+      if (in_flit_[p]) {
+        FLOV_CHECK(!in_flit_[p]->recv(now).has_value(),
+                   "flit arrived at a parked router " + std::to_string(id_));
+      }
+      if (credit_in_[p]) credit_in_[p]->clear();  // stale credits are void
+    }
+    return;
+  }
+
+  accept_credits(now);
+
+  if (mode_ == RouterMode::kBypass) {
+    forward_latches(now);
+    accept_flits_bypass(now);
+    return;
+  }
+
+  accept_flits(now);
+  do_switch_traversal(now);
+  do_timeout_checks(now);
+  do_vc_allocation(now);
+  do_switch_allocation(now);
+  do_route_computation(now);
+}
+
+void Router::accept_credits(Cycle now) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (!credit_in_[p]) continue;
+    for (const Credit& c : credit_in_[p]->recv_all(now)) {
+      if (mode_ == RouterMode::kPipeline) {
+        auto& ovc = output_[p].vcs[c.vc];
+        ovc.credits++;
+        FLOV_DCHECK(ovc.credits <= params_.buffer_depth,
+                    "credit overflow at router " + std::to_string(id_));
+      } else if (p == dir_index(Direction::Local)) {
+        // Gated router: NI ejection credits are meaningless (the output
+        // unit is off and reset to full on wakeup).
+        continue;
+      } else {
+        // Sleeping/waking router: relay the credit toward the upstream on
+        // the same line (credits flow opposite to flits). At a mesh edge
+        // there is no upstream for this flow — the credit acknowledges a
+        // flit this router itself sent before gating, and its value died
+        // with the gated output unit, so it is dropped.
+        const Direction upstream = opposite(dir_from_index(p));
+        if (auto* ch = credit_out_[dir_index(upstream)]) {
+          ch->send(now, c);
+          count(EnergyEvent::kCreditRelay);
+        }
+      }
+    }
+  }
+}
+
+void Router::accept_flits(Cycle now) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (!in_flit_[p]) continue;
+    while (auto f = in_flit_[p]->recv(now)) {
+      auto& vc = input_[p].vcs[f->vc];
+      FLOV_CHECK(vc.occupancy() < params_.buffer_depth,
+                 "input buffer overflow at router " + std::to_string(id_));
+      if (f->head && vc.state == VcState::kIdle) {
+        FLOV_CHECK(vc.buffer.empty(), "idle VC with buffered flits");
+        vc.state = VcState::kRouting;
+        vc.stage_ready = now + 1;  // RC occupies the next cycle
+        vc.wait_since = now;
+      }
+      vc.buffer.push_back(*f);
+      count(EnergyEvent::kBufferWrite);
+      if (p == dir_index(Direction::Local)) last_local_activity_ = now;
+    }
+  }
+}
+
+void Router::forward_latches(Cycle now) {
+  for (int d = 0; d < kNumMeshDirs; ++d) {
+    auto& l = latch_[d];
+    if (!l.flit.has_value() || l.write_cycle >= now) continue;
+    Flit f = *l.flit;
+    l.flit.reset();
+    if (f.head) {
+      f.flov_hops++;
+      f.link_hops++;
+    }
+    FLOV_CHECK(out_flit_[d] != nullptr, "FLOV latch without output link");
+    out_flit_[d]->send(now, f);
+    count(EnergyEvent::kFlovLatch);
+    count(EnergyEvent::kLinkTraversal);
+    flits_flown_over_++;
+  }
+}
+
+void Router::accept_flits_bypass(Cycle now) {
+  for (Direction p : kMeshDirections) {
+    auto* ch = in_flit_[dir_index(p)];
+    if (!ch) continue;
+    while (auto f = ch->recv(now)) {
+      const Direction outd = opposite(p);
+      FLOV_CHECK(geom_.neighbor(id_, outd) != kInvalidNode,
+                 "fly-over would exit the mesh at router " +
+                     std::to_string(id_) + " (flit src=" +
+                     std::to_string(f->src) + " dest=" +
+                     std::to_string(f->dest) + " escape=" +
+                     std::to_string(f->escape) + " vc=" +
+                     std::to_string(f->vc) + ")");
+      auto& l = latch_[dir_index(outd)];
+      FLOV_CHECK(!l.flit.has_value(),
+                 "FLOV latch overrun at router " + std::to_string(id_));
+      l.flit = *f;
+      l.write_cycle = now;
+    }
+  }
+  auto* local = in_flit_[dir_index(Direction::Local)];
+  if (local) {
+    FLOV_CHECK(!local->recv(now).has_value(),
+               "local injection into a sleeping router");
+  }
+}
+
+void Router::do_switch_traversal(Cycle now) {
+  for (const SwitchGrant& g : pending_st_) {
+    auto& vc = input_[g.in_port].vcs[g.in_vc];
+    FLOV_CHECK(vc.state == VcState::kActive && !vc.buffer.empty(),
+               "stale switch grant");
+    Flit f = vc.buffer.front();
+    vc.buffer.pop_front();
+
+    const int outp = dir_index(vc.out_dir);
+    auto& ovc = output_[outp].vcs[vc.out_vc];
+    FLOV_CHECK(ovc.credits > 0, "switch traversal without credit");
+    ovc.credits--;
+
+    f.vc = vc.out_vc;
+    f.escape = vc.escape_route;
+    if (f.head) {
+      // Per-flit routing annotations are stamped when the head actually
+      // departs (RP writes its up*/down* phase bit here).
+      const RouteContext ctx{id_, dir_from_index(g.in_port), &view_};
+      routing_->annotate(ctx, RouteDecision{vc.out_dir, vc.escape_route}, f);
+    }
+    if (f.head) {
+      f.router_hops++;
+      if (vc.out_dir != Direction::Local) f.link_hops++;
+    }
+    FLOV_CHECK(out_flit_[outp] != nullptr, "unwired output port");
+    out_flit_[outp]->send(now, f);
+    count(EnergyEvent::kBufferRead);
+    count(EnergyEvent::kCrossbar);
+    if (vc.out_dir != Direction::Local) count(EnergyEvent::kLinkTraversal);
+    flits_traversed_++;
+    if (g.in_port == dir_index(Direction::Local) ||
+        outp == dir_index(Direction::Local)) {
+      last_local_activity_ = now;
+    }
+
+    // Return the freed buffer slot upstream.
+    FLOV_CHECK(credit_out_[g.in_port] != nullptr, "unwired credit return");
+    credit_out_[g.in_port]->send(now, Credit{g.in_vc});
+
+    vc.wait_since = now;
+    vc.sent_any = true;
+
+    if (f.tail) {
+      ovc.allocated = false;
+      ovc.owner_port = -1;
+      ovc.owner_vc = -1;
+      vc.reset_to_idle();
+      if (!vc.buffer.empty()) {
+        // The next packet's head was queued behind the departing tail.
+        FLOV_CHECK(vc.buffer.front().head, "non-head after tail");
+        vc.state = VcState::kRouting;
+        vc.stage_ready = now + 1;
+        vc.wait_since = now;
+      }
+    }
+  }
+  pending_st_.clear();
+}
+
+void Router::do_timeout_checks(Cycle now) {
+  if (params_.escape_vc < 0 || !params_.enable_escape_diversion) return;
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (VcId v = 0; v < static_cast<VcId>(input_[p].vcs.size()); ++v) {
+      auto& vc = input_[p].vcs[v];
+      const bool eligible =
+          (vc.state == VcState::kWaitVc ||
+           (vc.state == VcState::kActive && !vc.sent_any)) &&
+          !vc.escape_route;
+      if (!eligible) continue;
+      if (now - vc.wait_since <= params_.deadlock_timeout) continue;
+      Flit& head = vc.buffer.front();
+      FLOV_CHECK(head.head, "timeout on non-head");
+      if (must_hold_for_wakeup(vc, head)) continue;  // waiting on a wakeup
+      // Divert to the escape sub-network: release any held output VC and
+      // re-route with the escape algorithm (costs one RC cycle).
+      if (vc.state == VcState::kActive) {
+        auto& ovc = output_[dir_index(vc.out_dir)].vcs[vc.out_vc];
+        ovc.allocated = false;
+        ovc.owner_port = -1;
+        ovc.owner_vc = -1;
+        vc.out_vc = -1;
+      }
+      head.escape = true;
+      const RouteContext ctx{id_, dir_from_index(p), &view_};
+      const RouteDecision d = routing_->escape_route(ctx, head);
+      vc.out_dir = d.out;
+      vc.escape_route = true;
+      vc.state = VcState::kWaitVc;
+      vc.stage_ready = now + 1;
+      vc.wait_since = now;
+    }
+  }
+}
+
+int Router::distance_along(Direction d, NodeId n) const {
+  const Coord me = geom_.coord(id_);
+  const Coord c = geom_.coord(n);
+  switch (d) {
+    case Direction::North:
+      return (c.x == me.x && c.y < me.y) ? me.y - c.y : -1;
+    case Direction::South:
+      return (c.x == me.x && c.y > me.y) ? c.y - me.y : -1;
+    case Direction::West:
+      return (c.y == me.y && c.x < me.x) ? me.x - c.x : -1;
+    case Direction::East:
+      return (c.y == me.y && c.x > me.x) ? c.x - me.x : -1;
+    case Direction::Local:
+      return -1;
+  }
+  return -1;
+}
+
+bool Router::must_hold_for_wakeup(const InputVc& vc, const Flit& head) {
+  if (vc.out_dir == Direction::Local || head.dest == id_) return false;
+  const int dist = distance_along(vc.out_dir, head.dest);
+  if (dist <= 0) return false;  // destination is not straight along out_dir
+  const NodeId logical = view_.logical_neighbor(vc.out_dir);
+  const int logical_dist =
+      logical == kInvalidNode ? geom_.num_nodes() : distance_along(vc.out_dir, logical);
+  if (dist < logical_dist) {
+    // Every router between here and the first powered one is asleep, and
+    // the destination is one of them: wake it and hold the packet.
+    if (wakeup_cb_) wakeup_cb_(head.dest);
+    return true;
+  }
+  return false;
+}
+
+void Router::do_vc_allocation(Cycle now) {
+  const int nvc = params_.total_vcs();
+  const int total = kNumPorts * nvc;
+  va_rotate_ = (va_rotate_ + 1) % total;
+  for (int k = 0; k < total; ++k) {
+    const int slot = (va_rotate_ + k) % total;
+    const int p = slot / nvc;
+    const VcId v = slot % nvc;
+    auto& vc = input_[p].vcs[v];
+    if (vc.state != VcState::kWaitVc || vc.stage_ready > now) continue;
+    FLOV_CHECK(!vc.buffer.empty() && vc.buffer.front().head,
+               "kWaitVc without head flit");
+    Flit& head = vc.buffer.front();
+    // Re-evaluate the route against the CURRENT neighborhood view: power
+    // states may have changed while the packet waited behind a drain mask,
+    // and a turn toward a now-sleeping router must be re-decided (the
+    // dynamic routing algorithm is re-armed until the VC is allocated).
+    {
+      const RouteContext ctx{id_, dir_from_index(p), &view_};
+      const RouteDecision d = (head.escape || vc.escape_route)
+                                  ? routing_->escape_route(ctx, head)
+                                  : routing_->route(ctx, head);
+      vc.out_dir = d.out;
+      vc.escape_route = d.escape || head.escape;
+      head.escape = vc.escape_route;
+    }
+    const int outp = dir_index(vc.out_dir);
+    if (vc.out_dir != Direction::Local) {
+      if (view_.blocked(vc.out_dir)) continue;  // neighbor draining/waking
+      if (must_hold_for_wakeup(vc, head)) continue;
+    }
+    // Pick a free output VC of the right class within the packet's vnet.
+    const int base = head.vnet * params_.vcs_per_vnet;
+    VcId grant = -1;
+    for (int w = 0; w < params_.vcs_per_vnet; ++w) {
+      const bool is_escape =
+          params_.escape_vc >= 0 && w == params_.escape_vc;
+      if (vc.escape_route != is_escape) continue;
+      const VcId abs = base + w;
+      if (!output_[outp].vcs[abs].allocated) {
+        grant = abs;
+        break;
+      }
+    }
+    if (grant < 0) continue;
+    auto& ovc = output_[outp].vcs[grant];
+    ovc.allocated = true;
+    ovc.owner_port = p;
+    ovc.owner_vc = v;
+    vc.out_vc = grant;
+    vc.state = VcState::kActive;
+    vc.wait_since = now;
+    count(EnergyEvent::kVcArb);
+  }
+}
+
+void Router::do_switch_allocation(Cycle now) {
+  (void)now;
+  // Input stage: each input port nominates one ready VC.
+  std::array<VcId, kNumPorts> nominee;
+  nominee.fill(-1);
+  const int nvc = params_.total_vcs();
+  for (int p = 0; p < kNumPorts; ++p) {
+    std::vector<bool> req(nvc, false);
+    bool any = false;
+    for (VcId v = 0; v < nvc; ++v) {
+      const auto& vc = input_[p].vcs[v];
+      if (vc.state != VcState::kActive || vc.buffer.empty()) continue;
+      const auto& ovc = output_[dir_index(vc.out_dir)].vcs[vc.out_vc];
+      if (ovc.credits <= 0) continue;
+      req[v] = true;
+      any = true;
+    }
+    if (any) nominee[p] = sa_input_arb_[p].arbitrate(req);
+  }
+  // Output stage: each output port grants one input port.
+  for (int outp = 0; outp < kNumPorts; ++outp) {
+    std::vector<bool> req(kNumPorts, false);
+    bool any = false;
+    for (int p = 0; p < kNumPorts; ++p) {
+      if (nominee[p] < 0) continue;
+      const auto& vc = input_[p].vcs[nominee[p]];
+      if (dir_index(vc.out_dir) == outp) {
+        req[p] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const int winner = sa_output_arb_[outp].arbitrate(req);
+    FLOV_CHECK(winner >= 0, "output arbiter returned no winner");
+    pending_st_.push_back(SwitchGrant{winner, nominee[winner]});
+    count(EnergyEvent::kSwArb);
+  }
+}
+
+void Router::do_route_computation(Cycle now) {
+  const int nvc = params_.total_vcs();
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (VcId v = 0; v < nvc; ++v) {
+      auto& vc = input_[p].vcs[v];
+      if (vc.state != VcState::kRouting || vc.stage_ready > now) continue;
+      FLOV_CHECK(!vc.buffer.empty() && vc.buffer.front().head,
+                 "kRouting without head flit");
+      Flit& head = vc.buffer.front();
+      const RouteContext ctx{id_, dir_from_index(p), &view_};
+      const RouteDecision d = head.escape ? routing_->escape_route(ctx, head)
+                                          : routing_->route(ctx, head);
+      vc.out_dir = d.out;
+      vc.escape_route = d.escape || head.escape;
+      vc.state = VcState::kWaitVc;
+      vc.stage_ready = now + 1;  // VA may run no earlier than next cycle
+      vc.wait_since = now;
+    }
+  }
+}
+
+void Router::dump_occupancy(Cycle now) const {
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (VcId v = 0; v < static_cast<VcId>(input_[p].vcs.size()); ++v) {
+      const auto& vc = input_[p].vcs[v];
+      if (vc.buffer.empty()) continue;
+      const Flit& f = vc.buffer.front();
+      int credits = -1;
+      if (vc.state == VcState::kActive) {
+        credits = output_[dir_index(vc.out_dir)].vcs[vc.out_vc].credits;
+      }
+      std::fprintf(
+          stderr,
+          "  router %d port %s vc %d: %d flits, state=%d out=%s out_vc=%d "
+          "credits=%d blocked=%d escape=%d front(src=%d dst=%d) wait=%llu\n",
+          id_, to_string(dir_from_index(p)), v, vc.occupancy(),
+          static_cast<int>(vc.state), to_string(vc.out_dir), vc.out_vc,
+          credits, static_cast<int>(view_.blocked(vc.out_dir)),
+          static_cast<int>(vc.escape_route), f.src, f.dest,
+          static_cast<unsigned long long>(now - vc.wait_since));
+    }
+  }
+  for (int d = 0; d < kNumMeshDirs; ++d) {
+    if (latch_[d].flit.has_value()) {
+      std::fprintf(stderr, "  router %d latch %s occupied (dst=%d)\n", id_,
+                   to_string(dir_from_index(d)), latch_[d].flit->dest);
+    }
+  }
+}
+
+void Router::set_mode(RouterMode m, Cycle now) {
+  if (m == mode_) return;
+  if (m == RouterMode::kBypass || m == RouterMode::kParked) {
+    FLOV_CHECK(input_buffers_empty(),
+               "gating a router with buffered flits: " + std::to_string(id_));
+    FLOV_CHECK(pending_st_.empty(), "gating a router mid-traversal");
+    for (int p = 0; p < kNumPorts; ++p) {
+      FLOV_CHECK(!output_[p].any_allocated(),
+                 "gating a router with live output VCs");
+    }
+    count(EnergyEvent::kPgTransition);  // one charge per gate/wake pair
+  }
+  if (m == RouterMode::kPipeline) {
+    FLOV_CHECK(latches_empty(), "waking a router with occupied FLOV latches");
+    // Fresh allocation state; real credit values are installed by the
+    // credit-handover transaction right after this call.
+    for (int p = 0; p < kNumPorts; ++p) {
+      output_[p].init(params_.total_vcs(), params_.buffer_depth);
+    }
+    last_local_activity_ = now;
+  }
+  mode_ = m;
+  if (power_) {
+    const RouterPowerMode pm = m == RouterMode::kPipeline
+                                   ? RouterPowerMode::kOn
+                                   : (m == RouterMode::kBypass
+                                          ? RouterPowerMode::kFlovSleep
+                                          : RouterPowerMode::kRpParked);
+    power_->set_mode(id_, pm, now);
+  }
+}
+
+bool Router::input_buffers_empty() const {
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (!input_[p].all_empty()) return false;
+  }
+  return true;
+}
+
+bool Router::latches_empty() const {
+  for (const auto& l : latch_) {
+    if (l.flit.has_value()) return false;
+  }
+  return true;
+}
+
+bool Router::output_port_idle(Direction d) const {
+  return !output_[dir_index(d)].any_allocated();
+}
+
+bool Router::completely_empty() const {
+  return input_buffers_empty() && latches_empty() && pending_st_.empty();
+}
+
+std::vector<int> Router::input_free_slots(Direction in_port) const {
+  return input_[dir_index(in_port)].free_slots(params_.buffer_depth);
+}
+
+void Router::reload_output_credits(Direction out_port,
+                                   const std::vector<int>& free_counts) {
+  output_[dir_index(out_port)].reload_credits(free_counts);
+}
+
+void Router::reset_output_credits_full(Direction out_port) {
+  std::vector<int> full(params_.total_vcs(), params_.buffer_depth);
+  output_[dir_index(out_port)].reload_credits(full);
+}
+
+}  // namespace flov

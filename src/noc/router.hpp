@@ -1,0 +1,182 @@
+// FLOV-capable virtual-channel router.
+//
+// Powered on, it is the paper's baseline 3-stage pipeline (RC -> VA+SA ->
+// ST, one cycle each, +1 cycle link traversal). Power-gated, the baseline
+// portion is off and the four FLOV output latches forward incoming flits
+// straight across (1-cycle latch) while relaying credits upstream, exactly
+// the Section III datapath. Router Parking parks the whole tile (kParked):
+// nothing forwards, and the fabric manager guarantees no traffic arrives.
+//
+// The router never inspects global state: routing and allocation read only
+// its NeighborhoodView (PSRs + output masks), which the handshake layer
+// maintains. Cross-layer hooks (wakeup requests, credit handovers) are
+// exposed as narrow methods used by the flov/rp glue.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/channel.hpp"
+#include "noc/flit.hpp"
+#include "noc/input_unit.hpp"
+#include "noc/noc_params.hpp"
+#include "noc/output_unit.hpp"
+#include "noc/power_state.hpp"
+#include "noc/routing_iface.hpp"
+#include "power/power_tracker.hpp"
+
+namespace flov {
+
+/// Datapath operating mode (distinct from the protocol PowerState: a
+/// Draining router still runs kPipeline; a Wakeup router still runs
+/// kBypass until it turns Active).
+enum class RouterMode : std::uint8_t {
+  kPipeline = 0,  ///< baseline router operational
+  kBypass,        ///< power-gated with FLOV latches active
+  kParked,        ///< fully off (Router Parking)
+};
+
+class Router {
+ public:
+  Router(NodeId id, const MeshGeometry& geom, const NocParams& params,
+         RoutingFunction* routing, PowerTracker* power);
+
+  NodeId id() const { return id_; }
+  RouterMode mode() const { return mode_; }
+
+  // --- wiring (called once by the Network; non-owning) ---
+  void connect_flit_in(Direction port, Channel<Flit>* ch);
+  void connect_flit_out(Direction port, Channel<Flit>* ch);
+  /// Credits this router RETURNS for its input port `port`.
+  void connect_credit_out(Direction port, Channel<Credit>* ch);
+  /// Credits this router RECEIVES for its output port `port`.
+  void connect_credit_in(Direction port, Channel<Credit>* ch);
+
+  /// One clock edge. Safe to call routers in any order: all inter-router
+  /// channels have latency >= 1.
+  void step(Cycle now);
+
+  /// Switches the datapath mode; performs the associated state hygiene
+  /// (asserts drained buffers, resets allocation state, informs the power
+  /// tracker, charges the gating-overhead energy on entry to a gated mode).
+  void set_mode(RouterMode m, Cycle now);
+
+  NeighborhoodView& view() { return view_; }
+  const NeighborhoodView& view() const { return view_; }
+
+  // --- handshake / drain support ---
+  bool input_buffers_empty() const;
+  bool latches_empty() const;
+  /// True when the FLOV output latch toward `d` holds no flit.
+  bool latch_empty(Direction d) const {
+    return !latch_[dir_index(d)].flit.has_value();
+  }
+  /// The flit (if any) currently held in the output latch toward `d`.
+  const std::optional<Flit>& latch_flit(Direction d) const {
+    return latch_[dir_index(d)].flit;
+  }
+  /// True when output port `d` has no allocated output VCs (no in-flight
+  /// packet transmission toward that neighbor) — the drain_done condition.
+  bool output_port_idle(Direction d) const;
+  /// True when the router holds no flits at all (buffers, latches, pending
+  /// switch grants).
+  bool completely_empty() const;
+  /// Cycle of the last local-port (core-side) flit activity.
+  Cycle last_local_activity() const { return last_local_activity_; }
+
+  // --- credit-handover support (see flov/credit_handover.cpp) ---
+  std::vector<int> input_free_slots(Direction in_port) const;
+  void reload_output_credits(Direction out_port,
+                             const std::vector<int>& free_counts);
+  void reset_output_credits_full(Direction out_port);
+  Channel<Credit>* credit_in(Direction d) { return credit_in_[dir_index(d)]; }
+  Channel<Flit>* flit_in(Direction d) { return in_flit_[dir_index(d)]; }
+
+  /// Hook invoked when a packet must wake a sleeping destination router
+  /// before it can be forwarded (Section IV-A Wakeup trigger).
+  void set_wakeup_callback(std::function<void(NodeId)> cb) {
+    wakeup_cb_ = std::move(cb);
+  }
+
+  // --- introspection for tests ---
+  const InputPort& input_port(Direction d) const {
+    return input_[dir_index(d)];
+  }
+  const OutputPort& output_port(Direction d) const {
+    return output_[dir_index(d)];
+  }
+  std::uint64_t flits_traversed() const { return flits_traversed_; }
+  /// Writes a human-readable description of every non-empty input VC and
+  /// occupied latch to stderr (deadlock diagnostics).
+  void dump_occupancy(Cycle now) const;
+  std::uint64_t flits_flown_over() const { return flits_flown_over_; }
+  const NocParams& params() const { return params_; }
+
+ private:
+  struct SwitchGrant {
+    int in_port;
+    VcId in_vc;
+  };
+
+  struct FlovLatch {
+    std::optional<Flit> flit;
+    Cycle write_cycle = 0;
+  };
+
+  void accept_credits(Cycle now);
+  void accept_flits(Cycle now);
+  void accept_flits_bypass(Cycle now);
+  void forward_latches(Cycle now);
+  void do_switch_traversal(Cycle now);
+  void do_timeout_checks(Cycle now);
+  void do_vc_allocation(Cycle now);
+  void do_switch_allocation(Cycle now);
+  void do_route_computation(Cycle now);
+
+  /// Distance from this router to `n` along direction `d` if `n` lies
+  /// exactly along that axis; -1 otherwise.
+  int distance_along(Direction d, NodeId n) const;
+  /// The Section IV hold rule: the packet's destination router lies inside
+  /// a sleeping run along the chosen direction, so it must be woken first.
+  bool must_hold_for_wakeup(const InputVc& vc, const Flit& head);
+
+  void count(EnergyEvent e, std::uint64_t n = 1) {
+    if (power_) power_->count(e, n);
+  }
+
+  NodeId id_;
+  const MeshGeometry& geom_;
+  NocParams params_;
+  RoutingFunction* routing_;
+  PowerTracker* power_;
+
+  RouterMode mode_ = RouterMode::kPipeline;
+  NeighborhoodView view_;
+
+  std::array<Channel<Flit>*, kNumPorts> in_flit_{};
+  std::array<Channel<Flit>*, kNumPorts> out_flit_{};
+  std::array<Channel<Credit>*, kNumPorts> credit_out_{};
+  std::array<Channel<Credit>*, kNumPorts> credit_in_{};
+
+  std::array<InputPort, kNumPorts> input_;
+  std::array<OutputPort, kNumPorts> output_;
+  std::array<FlovLatch, kNumMeshDirs> latch_;
+
+  std::vector<SwitchGrant> pending_st_;
+  std::vector<RoundRobinArbiter> sa_input_arb_;   // one per input port
+  std::vector<RoundRobinArbiter> sa_output_arb_;  // one per output port
+  int va_rotate_ = 0;
+
+  std::function<void(NodeId)> wakeup_cb_;
+  Cycle last_local_activity_ = 0;
+  std::uint64_t flits_traversed_ = 0;
+  std::uint64_t flits_flown_over_ = 0;
+};
+
+}  // namespace flov

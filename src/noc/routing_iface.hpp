@@ -1,0 +1,50 @@
+// Routing-function interface.
+//
+// Route computation runs only in powered-on routers (power-gated routers
+// forward flits straight through without re-routing). A routing function
+// sees the flit, the port it arrived on, and the router's local
+// NeighborhoodView — never global network state, matching the paper's
+// distributed-information constraint (RP's table routing is the exception:
+// its tables are *distributed to* routers by the centralized FM).
+#pragma once
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+#include "noc/power_state.hpp"
+
+namespace flov {
+
+struct RouteContext {
+  NodeId current = kInvalidNode;
+  Direction in_dir = Direction::Local;  ///< port the flit arrived on
+  const NeighborhoodView* view = nullptr;
+};
+
+struct RouteDecision {
+  Direction out = Direction::Local;
+  bool escape = false;  ///< request the escape VC class downstream
+};
+
+class RoutingFunction {
+ public:
+  virtual ~RoutingFunction() = default;
+
+  /// Route a head flit in the regular VCs.
+  virtual RouteDecision route(const RouteContext& ctx, const Flit& flit) = 0;
+
+  /// Route a head flit in (or being diverted into) the escape sub-network.
+  /// Default: same as the regular function (for inherently deadlock-free
+  /// functions that never use the escape network).
+  virtual RouteDecision escape_route(const RouteContext& ctx,
+                                     const Flit& flit) {
+    return route(ctx, flit);
+  }
+
+  /// Lets the routing function rewrite per-flit routing state (RP stamps
+  /// the up*/down* phase bit here). Called when the decision is applied.
+  virtual void annotate(const RouteContext& /*ctx*/,
+                        const RouteDecision& /*decision*/, Flit& /*flit*/) {}
+};
+
+}  // namespace flov

@@ -1,0 +1,34 @@
+// Common interface over a mesh network plus a power-gating scheme.
+//
+// The experiment harness drives Baseline / rFLOV / gFLOV / RP uniformly:
+// it reports core (un)gating events from the OS model and steps the system
+// one cycle at a time; the scheme decides how routers react.
+#pragma once
+
+#include "common/types.hpp"
+#include "noc/network.hpp"
+
+namespace flov {
+
+class NocSystem {
+ public:
+  virtual ~NocSystem() = default;
+
+  /// Advances network + scheme machinery by one cycle.
+  virtual void step(Cycle now) = 0;
+
+  /// OS-level core power event (Section I: FLOV reacts to OS core gating).
+  virtual void set_core_gated(NodeId core, bool gated, Cycle now) = 0;
+  virtual bool core_gated(NodeId core) const = 0;
+
+  /// True when `src` may inject new packets this cycle (false for gated
+  /// cores, and for everyone during RP's reconfiguration stall).
+  virtual bool injection_allowed(NodeId src) const = 0;
+
+  virtual Network& network() = 0;
+  virtual const Network& network() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace flov

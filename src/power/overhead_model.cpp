@@ -1,0 +1,25 @@
+#include "power/overhead_model.hpp"
+
+namespace flov {
+
+OverheadReport compute_overhead(const OverheadInputs& in) {
+  OverheadReport r;
+  r.psr_bits = in.psr_sets * in.psr_entries_per_set * in.psr_bits_per_entry;
+  // 4 bits for current + logical neighbor power-state change notifications,
+  // 1 bit draining notification, 1 bit physical-neighbor assertion (§V-A).
+  r.hsc_wires_per_neighbor = 6;
+
+  r.latch_area_mm2 =
+      in.num_mesh_ports * in.flit_width_bits * in.latch_area_per_bit_mm2;
+  // A mux and a demux per mesh port, each spanning the flit width.
+  r.mux_area_mm2 =
+      2.0 * in.num_mesh_ports * in.flit_width_bits * in.mux_area_per_bit_mm2;
+  r.psr_area_mm2 = r.psr_bits * in.psr_area_per_bit_mm2;
+  r.hsc_area_mm2 = in.hsc_fsm_area_mm2;
+  r.total_overhead_mm2 =
+      r.latch_area_mm2 + r.mux_area_mm2 + r.psr_area_mm2 + r.hsc_area_mm2;
+  r.overhead_fraction = r.total_overhead_mm2 / in.baseline_router_area_mm2;
+  return r;
+}
+
+}  // namespace flov

@@ -1,0 +1,37 @@
+// Analytic area/wiring overhead model for the FLOV router additions
+// (paper Section V-A). Reproduces the bookkeeping behind the quoted
+// numbers: 16 PSR bits, 6 HSC wires per neighbor, ~3% router area overhead
+// (2.8e-3 mm^2 at 32 nm).
+#pragma once
+
+namespace flov {
+
+struct OverheadInputs {
+  int flit_width_bits = 128;       // 16 B links
+  int num_mesh_ports = 4;
+  int psr_entries_per_set = 4;     // one entry per direction
+  int psr_bits_per_entry = 2;      // 4 power states
+  int psr_sets = 2;                // physical + logical neighbors
+  double baseline_router_area_mm2 = 0.0933;  // 32 nm 5-port 3-stage VC router
+  // Component area estimates at 32 nm (mm^2).
+  double latch_area_per_bit_mm2 = 3.0e-6;
+  double mux_area_per_bit_mm2 = 1.0e-6;
+  double psr_area_per_bit_mm2 = 5.0e-6;
+  double hsc_fsm_area_mm2 = 1.0e-4;
+};
+
+struct OverheadReport {
+  int psr_bits = 0;                 // total PSR storage bits
+  int hsc_wires_per_neighbor = 0;   // out-of-band control wires
+  double latch_area_mm2 = 0.0;      // 4 output latches
+  double mux_area_mm2 = 0.0;        // 4 muxes + 4 demuxes
+  double psr_area_mm2 = 0.0;
+  double hsc_area_mm2 = 0.0;
+  double total_overhead_mm2 = 0.0;
+  double overhead_fraction = 0.0;   // of baseline router area
+};
+
+/// Evaluates the analytic model.
+OverheadReport compute_overhead(const OverheadInputs& in);
+
+}  // namespace flov

@@ -1,0 +1,72 @@
+// Per-network power accounting.
+//
+// Tracks, per router tile: the leakage-relevant power mode over time
+// (integrated into static energy) and global dynamic event counts
+// (converted into dynamic energy). A measurement window can be (re)opened
+// with begin_window() so warm-up activity is excluded, matching the paper's
+// 10k-warmup / 100k-total methodology.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "power/energy_model.hpp"
+
+namespace flov {
+
+class PowerTracker {
+ public:
+  /// `flov_hardware` selects whether routers pay the FLOV area/leakage
+  /// overhead (true for rFLOV/gFLOV networks, false for Baseline/RP).
+  PowerTracker(const MeshGeometry& geom, const EnergyParams& params,
+               bool flov_hardware);
+
+  /// Declares a router's power mode starting at `now` (inclusive).
+  void set_mode(NodeId router, RouterPowerMode mode, Cycle now);
+  RouterPowerMode mode(NodeId router) const { return modes_[router]; }
+
+  /// Counts `n` dynamic events of class `e`.
+  void count(EnergyEvent e, std::uint64_t n = 1) {
+    event_counts_[static_cast<int>(e)] += n;
+  }
+  std::uint64_t event_count(EnergyEvent e) const {
+    return event_counts_[static_cast<int>(e)];
+  }
+
+  /// Starts a fresh measurement window at `now` (drops all prior counts).
+  void begin_window(Cycle now);
+
+  struct Report {
+    Cycle cycles = 0;            ///< window length
+    double static_mw = 0.0;      ///< average leakage power over the window
+    double dynamic_mw = 0.0;     ///< average switching power over the window
+    double total_mw = 0.0;
+    double static_energy_pj = 0.0;
+    double dynamic_energy_pj = 0.0;
+    double total_energy_pj = 0.0;
+  };
+
+  /// Computes power/energy over [window_start, now].
+  Report report(Cycle now) const;
+
+  const EnergyParams& params() const { return params_; }
+
+ private:
+  /// Leakage power (mW) of router `r` plus its outgoing link drivers in
+  /// mode `m`.
+  double tile_leak_mw(NodeId r, RouterPowerMode m) const;
+
+  EnergyParams params_;
+  bool flov_hardware_;
+  std::vector<RouterPowerMode> modes_;
+  std::vector<Cycle> mode_since_;        // cycle at which current mode began
+  std::vector<double> static_energy_pj_; // per-router, flushed-to-date
+  std::vector<int> out_links_;           // outgoing mesh links per router
+  std::array<std::uint64_t, kNumEnergyEvents> event_counts_{};
+  Cycle window_start_ = 0;
+};
+
+}  // namespace flov

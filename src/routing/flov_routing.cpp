@@ -1,0 +1,60 @@
+#include "routing/flov_routing.hpp"
+
+#include "common/log.hpp"
+#include "routing/partition.hpp"
+
+namespace flov {
+
+RouteDecision FlovRouting::route(const RouteContext& ctx, const Flit& flit) {
+  const int p = partition_of(geom_, ctx.current, flit.dest);
+  if (p < 0) return {Direction::Local, false};
+
+  if (is_straight_partition(p)) {
+    // FLOV links carry the flit over any sleeping intermediates; a sleeping
+    // destination is woken by the hold-for-wakeup rule at allocation time.
+    return {straight_direction(p), false};
+  }
+
+  const Direction ydir = quadrant_y(p);
+  const Direction xdir = quadrant_x(p);
+  const NeighborhoodView& view = *ctx.view;
+
+  // YX preference: turn at the powered Y neighbor first, then X.
+  if (ydir != ctx.in_dir && view.neighbor_powered(ydir)) {
+    return {ydir, false};
+  }
+  if (xdir != ctx.in_dir && view.neighbor_powered(xdir)) {
+    return {xdir, false};
+  }
+
+  // Both turn candidates are power-gated: head East toward the AON column,
+  // where a turn toward the destination is always possible. An AON-column
+  // router never reaches here (its column neighbors are always powered).
+  if (Direction::East != ctx.in_dir &&
+      geom_.neighbor(ctx.current, Direction::East) != kInvalidNode) {
+    return {Direction::East, false};
+  }
+
+  // The packet arrived from the East and both turns are asleep: the only
+  // productive move is back East, which the regular network forbids.
+  // Divert to the escape sub-network immediately (it may legally reverse).
+  return escape_route(ctx, flit);
+}
+
+RouteDecision FlovRouting::escape_route(const RouteContext& ctx,
+                                        const Flit& flit) {
+  const int p = partition_of(geom_, ctx.current, flit.dest);
+  if (p < 0) return {Direction::Local, true};
+  if (is_straight_partition(p)) {
+    return {straight_direction(p), true};
+  }
+  // Quadrant: march East to the AON column; once there, move vertically
+  // toward the destination row (E->N / E->S are the allowed turns), after
+  // which the partition becomes straight-West.
+  if (geom_.is_aon_column(ctx.current)) {
+    return {quadrant_y(p), true};
+  }
+  return {Direction::East, true};
+}
+
+}  // namespace flov

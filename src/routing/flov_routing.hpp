@@ -1,0 +1,40 @@
+// The FLOV partition-based dynamic routing algorithm (paper Section V).
+//
+// Regular VCs (YX-based, best-effort minimal):
+//   * straight partitions (1/3/5/7) route directly N/W/S/E — FLOV links
+//     guarantee delivery over sleeping intermediates;
+//   * quadrants first try the Y-direction neighbor (YX order), then the
+//     X-direction neighbor, each only if powered on; otherwise the packet
+//     is forwarded East toward the always-on (AON) last column over FLOV
+//     links — from there a turn toward the destination is guaranteed;
+//   * a packet is never sent back out the port it arrived on (livelock
+//     avoidance). If that rule leaves no productive regular output (both
+//     turn candidates asleep and East is the arrival port), the packet is
+//     diverted straight into the escape sub-network, which may legally
+//     reverse (its channel-dependency graph stays acyclic).
+//
+// Escape sub-network (deadlock recovery, Duato-style): deterministic,
+// partition-based — straight partitions go direct; quadrants go East until
+// the AON column, then N/S to the destination row, then West. Allowed
+// turns are exactly {E->N, E->S, N->W, S->W} (Fig. 4(b)), so the escape
+// CDG is acyclic and the network is deadlock-free.
+#pragma once
+
+#include "common/geometry.hpp"
+#include "noc/routing_iface.hpp"
+
+namespace flov {
+
+class FlovRouting final : public RoutingFunction {
+ public:
+  explicit FlovRouting(const MeshGeometry& geom) : geom_(geom) {}
+
+  RouteDecision route(const RouteContext& ctx, const Flit& flit) override;
+  RouteDecision escape_route(const RouteContext& ctx,
+                             const Flit& flit) override;
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+}  // namespace flov

@@ -1,0 +1,52 @@
+#include "routing/partition.hpp"
+
+#include "common/log.hpp"
+
+namespace flov {
+
+int partition_of(const MeshGeometry& geom, NodeId me, NodeId dest) {
+  const Coord a = geom.coord(me);
+  const Coord b = geom.coord(dest);
+  const int dx = b.x - a.x;
+  const int dy = b.y - a.y;  // positive = South
+  if (dx == 0 && dy == 0) return -1;
+  if (dx == 0) return dy < 0 ? 1 : 5;
+  if (dy == 0) return dx < 0 ? 3 : 7;
+  if (dx > 0) return dy < 0 ? 0 : 6;  // NE / SE
+  return dy < 0 ? 2 : 4;              // NW / SW
+}
+
+Direction straight_direction(int p) {
+  switch (p) {
+    case 1: return Direction::North;
+    case 3: return Direction::West;
+    case 5: return Direction::South;
+    case 7: return Direction::East;
+  }
+  FLOV_CHECK(false, "not a straight partition");
+  return Direction::Local;
+}
+
+Direction quadrant_y(int p) {
+  switch (p) {
+    case 0:
+    case 2: return Direction::North;
+    case 4:
+    case 6: return Direction::South;
+  }
+  FLOV_CHECK(false, "not a quadrant partition");
+  return Direction::Local;
+}
+
+Direction quadrant_x(int p) {
+  switch (p) {
+    case 2:
+    case 4: return Direction::West;
+    case 0:
+    case 6: return Direction::East;
+  }
+  FLOV_CHECK(false, "not a quadrant partition");
+  return Direction::Local;
+}
+
+}  // namespace flov

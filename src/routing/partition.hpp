@@ -1,0 +1,30 @@
+// Destination partitioning (paper Fig. 4(a)).
+//
+// Each router divides the mesh into 8 partitions relative to itself.
+// Straight partitions (same column/row): 1 = North, 3 = West, 5 = South,
+// 7 = East. Quadrants: 0 = NE, 2 = NW, 4 = SW, 6 = SE. (y grows southward;
+// ids are row-major from the top-left, matching the Fig. 5 examples.)
+#pragma once
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+/// Partition of `dest` relative to `me`; -1 when dest == me.
+int partition_of(const MeshGeometry& geom, NodeId me, NodeId dest);
+
+constexpr bool is_straight_partition(int p) {
+  return p == 1 || p == 3 || p == 5 || p == 7;
+}
+
+/// Direction for a straight partition (1/3/5/7 -> N/W/S/E).
+Direction straight_direction(int p);
+
+/// Vertical component of a quadrant partition (0,2 -> North; 4,6 -> South).
+Direction quadrant_y(int p);
+
+/// Horizontal component of a quadrant partition (2,4 -> West; 0,6 -> East).
+Direction quadrant_x(int p);
+
+}  // namespace flov

@@ -1,0 +1,31 @@
+#include "routing/table_routing.hpp"
+
+#include "common/log.hpp"
+
+namespace flov {
+
+RouteDecision TableRouting::route(const RouteContext& ctx, const Flit& flit) {
+  if (flit.dest == ctx.current) return {Direction::Local, false};
+  FLOV_CHECK(routes_ != nullptr, "RP routing without installed tables");
+  const auto hop =
+      routes_->next_hop(ctx.current, flit.dest, flit.updown_went_down);
+  FLOV_CHECK(hop.has_value(),
+             "RP: no route from " + std::to_string(ctx.current) + " to " +
+                 std::to_string(flit.dest));
+  return {hop->dir, false};
+}
+
+void TableRouting::annotate(const RouteContext& ctx,
+                            const RouteDecision& decision, Flit& flit) {
+  if (decision.out == Direction::Local) return;
+  FLOV_CHECK(routes_ != nullptr, "RP annotate without tables");
+  // Recompute the hop to stamp the phase bit the packet will have after
+  // traversing the chosen link.
+  const auto hop =
+      routes_->next_hop(ctx.current, flit.dest, flit.updown_went_down);
+  FLOV_CHECK(hop.has_value() && hop->dir == decision.out,
+             "RP annotate/route mismatch");
+  flit.updown_went_down = hop->went_down_after;
+}
+
+}  // namespace flov

@@ -1,0 +1,37 @@
+// Router Parking table routing.
+//
+// Routers forward per next-hop tables distributed by the fabric manager.
+// The tables are up*/down* shortest legal paths (see updown.hpp); the
+// 1-bit path phase rides in the flit (Flit::updown_went_down). The FM
+// swaps in a new route set atomically at the end of a reconfiguration.
+#pragma once
+
+#include <memory>
+
+#include "common/geometry.hpp"
+#include "noc/routing_iface.hpp"
+#include "routing/updown.hpp"
+
+namespace flov {
+
+class TableRouting final : public RoutingFunction {
+ public:
+  explicit TableRouting(const MeshGeometry& geom) : geom_(geom) {}
+
+  /// Installs a new route set (reconfiguration Phase I completion).
+  void install(std::shared_ptr<const UpDownRoutes> routes) {
+    routes_ = std::move(routes);
+  }
+
+  const UpDownRoutes* routes() const { return routes_.get(); }
+
+  RouteDecision route(const RouteContext& ctx, const Flit& flit) override;
+  void annotate(const RouteContext& ctx, const RouteDecision& decision,
+                Flit& flit) override;
+
+ private:
+  const MeshGeometry& geom_;
+  std::shared_ptr<const UpDownRoutes> routes_;
+};
+
+}  // namespace flov

@@ -1,0 +1,136 @@
+#include "routing/updown.hpp"
+
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+UpDownRoutes::UpDownRoutes(const MeshGeometry& geom,
+                           const std::vector<bool>& powered)
+    : geom_(geom), powered_(powered), level_(geom.num_nodes(), -1) {
+  FLOV_CHECK(static_cast<int>(powered.size()) == geom.num_nodes(),
+             "powered mask size mismatch");
+  const int n = geom.num_nodes();
+
+  // Root the BFS tree at the smallest powered id.
+  for (NodeId i = 0; i < n; ++i) {
+    if (powered_[i]) {
+      root_ = i;
+      break;
+    }
+  }
+  FLOV_CHECK(root_ != kInvalidNode, "no powered routers");
+
+  std::deque<NodeId> q{root_};
+  level_[root_] = 0;
+  while (!q.empty()) {
+    const NodeId a = q.front();
+    q.pop_front();
+    for (Direction d : kMeshDirections) {
+      const NodeId b = geom.neighbor(a, d);
+      if (b == kInvalidNode || !powered_[b] || level_[b] >= 0) continue;
+      level_[b] = level_[a] + 1;
+      q.push_back(b);
+    }
+  }
+
+  // Per-destination backward BFS on the (node, phase) product graph.
+  dist_.assign(n, {});
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (!powered_[dest] || level_[dest] < 0) continue;
+    auto& dist = dist_[dest];
+    dist.assign(2 * n, -1);
+    std::deque<int> bfs;
+    dist[state(dest, false)] = 0;
+    dist[state(dest, true)] = 0;
+    bfs.push_back(state(dest, false));
+    bfs.push_back(state(dest, true));
+    while (!bfs.empty()) {
+      const int s = bfs.front();
+      bfs.pop_front();
+      const NodeId b = s / 2;
+      const bool phase_b = (s % 2) != 0;
+      // Find predecessors (a, phase_a) with a legal edge a->b reaching
+      // exactly (b, phase_b).
+      for (Direction d : kMeshDirections) {
+        const NodeId a = geom.neighbor(b, d);
+        if (a == kInvalidNode || !powered_[a] || level_[a] < 0) continue;
+        const Direction a_to_b = opposite(d);
+        const bool up = is_up_link(a, a_to_b);
+        if (up) {
+          // Legal only from phase_a == false, resulting phase stays false.
+          if (phase_b) continue;
+          const int sa = state(a, false);
+          if (dist[sa] < 0) {
+            dist[sa] = static_cast<std::int16_t>(dist[s] + 1);
+            bfs.push_back(sa);
+          }
+        } else {
+          // Down link: legal from either phase, resulting phase is true.
+          if (!phase_b) continue;
+          for (const bool pa : {false, true}) {
+            const int sa = state(a, pa);
+            if (dist[sa] < 0) {
+              dist[sa] = static_cast<std::int16_t>(dist[s] + 1);
+              bfs.push_back(sa);
+            }
+          }
+        }
+      }
+    }
+    // A destination also terminates paths that arrive in phase false via an
+    // up link; the two start states above already cover both arrivals.
+  }
+}
+
+bool UpDownRoutes::is_up_link(NodeId a, Direction d) const {
+  const NodeId b = geom_.neighbor(a, d);
+  FLOV_DCHECK(b != kInvalidNode, "up-link query off edge");
+  if (level_[b] != level_[a]) return level_[b] < level_[a];
+  return b < a;
+}
+
+std::optional<UpDownRoutes::Hop> UpDownRoutes::next_hop(NodeId from,
+                                                        NodeId dest,
+                                                        bool went_down) const {
+  if (from == dest) return std::nullopt;
+  if (dist_[dest].empty()) return std::nullopt;
+  const auto& dist = dist_[dest];
+  const int here = dist[state(from, went_down)];
+  if (here < 0) return std::nullopt;
+  for (Direction d : kMeshDirections) {
+    const NodeId b = geom_.neighbor(from, d);
+    if (b == kInvalidNode || !powered_[b] || level_[b] < 0) continue;
+    const bool up = is_up_link(from, d);
+    if (up && went_down) continue;  // illegal move
+    const bool phase_after = went_down || !up;
+    const int next = dist[state(b, phase_after)];
+    if (next >= 0 && next == here - 1) {
+      return Hop{d, phase_after};
+    }
+  }
+  FLOV_CHECK(false, "inconsistent up*/down* distance table");
+  return std::nullopt;
+}
+
+bool UpDownRoutes::reachable(NodeId from, NodeId dest) const {
+  if (from == dest) return powered_[from];
+  if (dist_[dest].empty()) return false;
+  return dist_[dest][state(from, false)] >= 0;
+}
+
+int UpDownRoutes::path_len(NodeId from, NodeId dest) const {
+  if (from == dest) return 0;
+  if (dist_[dest].empty()) return -1;
+  return dist_[dest][state(from, false)];
+}
+
+bool UpDownRoutes::all_powered_connected() const {
+  for (NodeId i = 0; i < geom_.num_nodes(); ++i) {
+    if (powered_[i] && level_[i] < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace flov

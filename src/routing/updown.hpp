@@ -1,0 +1,67 @@
+// Up*/down* routes over the powered sub-graph (Router Parking substrate).
+//
+// RP's fabric manager computes deadlock-free routes on the sub-mesh of
+// powered routers and distributes them as tables. We implement the classic
+// up*/down* scheme: a BFS spanning tree roots the powered sub-graph; every
+// link gets an up/down orientation (up = toward lower BFS level, ties by
+// smaller id); a legal path never takes an up-link after a down-link, which
+// makes the channel-dependency graph acyclic (deadlock-free with one VC).
+// Shortest *legal* paths are computed exactly on the (node, went-down)
+// product graph; packets carry the one-bit phase (Flit::updown_went_down).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+class UpDownRoutes {
+ public:
+  /// Builds routes over the routers with `powered[id] == true`. Nodes
+  /// outside the powered set are unreachable endpoints.
+  UpDownRoutes(const MeshGeometry& geom, const std::vector<bool>& powered);
+
+  struct Hop {
+    Direction dir = Direction::Local;
+    bool went_down_after = false;  ///< phase bit after taking this hop
+  };
+
+  /// Next hop of a shortest legal path from `from` to `dest` given the
+  /// packet's current phase; nullopt if unreachable (or from == dest).
+  std::optional<Hop> next_hop(NodeId from, NodeId dest, bool went_down) const;
+
+  /// True if a legal path exists from a fresh (phase = up-allowed) packet.
+  bool reachable(NodeId from, NodeId dest) const;
+
+  /// Legal shortest path length in hops (-1 if unreachable).
+  int path_len(NodeId from, NodeId dest) const;
+
+  bool powered(NodeId n) const { return powered_[n]; }
+  int bfs_level(NodeId n) const { return level_[n]; }
+  NodeId root() const { return root_; }
+
+  /// True when every powered node can reach every other powered node
+  /// (the powered sub-graph is connected).
+  bool all_powered_connected() const;
+
+  /// True if the directed link from `a` toward `d` is an "up" link.
+  bool is_up_link(NodeId a, Direction d) const;
+
+ private:
+  int state(NodeId n, bool went_down) const {
+    return 2 * n + (went_down ? 1 : 0);
+  }
+
+  const MeshGeometry& geom_;
+  std::vector<bool> powered_;
+  std::vector<int> level_;   ///< BFS level; -1 if unpowered/disconnected
+  NodeId root_ = kInvalidNode;
+  /// dist_[dest][state]: legal hops from (node, phase) to dest; -1 = none.
+  std::vector<std::vector<std::int16_t>> dist_;
+};
+
+}  // namespace flov

@@ -1,0 +1,25 @@
+#include "routing/yx_routing.hpp"
+
+namespace flov {
+
+RouteDecision YxRouting::route(const RouteContext& ctx, const Flit& flit) {
+  const Coord me = geom_.coord(ctx.current);
+  const Coord d = geom_.coord(flit.dest);
+  if (d.y < me.y) return {Direction::North, false};
+  if (d.y > me.y) return {Direction::South, false};
+  if (d.x < me.x) return {Direction::West, false};
+  if (d.x > me.x) return {Direction::East, false};
+  return {Direction::Local, false};
+}
+
+RouteDecision XyRouting::route(const RouteContext& ctx, const Flit& flit) {
+  const Coord me = geom_.coord(ctx.current);
+  const Coord d = geom_.coord(flit.dest);
+  if (d.x < me.x) return {Direction::West, false};
+  if (d.x > me.x) return {Direction::East, false};
+  if (d.y < me.y) return {Direction::North, false};
+  if (d.y > me.y) return {Direction::South, false};
+  return {Direction::Local, false};
+}
+
+}  // namespace flov

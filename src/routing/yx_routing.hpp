@@ -1,0 +1,31 @@
+// Baseline dimension-order YX routing (Table I): traverse Y first, then X.
+// Deadlock-free with a single VC class; the escape sub-network is unused.
+#pragma once
+
+#include "common/geometry.hpp"
+#include "noc/routing_iface.hpp"
+
+namespace flov {
+
+class YxRouting final : public RoutingFunction {
+ public:
+  explicit YxRouting(const MeshGeometry& geom) : geom_(geom) {}
+
+  RouteDecision route(const RouteContext& ctx, const Flit& flit) override;
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+/// XY variant (X first), used by tests and ablations.
+class XyRouting final : public RoutingFunction {
+ public:
+  explicit XyRouting(const MeshGeometry& geom) : geom_(geom) {}
+
+  RouteDecision route(const RouteContext& ctx, const Flit& flit) override;
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+}  // namespace flov

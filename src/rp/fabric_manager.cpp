@@ -1,0 +1,90 @@
+#include "rp/fabric_manager.hpp"
+
+#include "common/log.hpp"
+
+namespace flov {
+
+FabricManager::FabricManager(Network* net, TableRouting* routing,
+                             FabricManagerConfig cfg,
+                             std::vector<bool> always_on)
+    : net_(net),
+      routing_(routing),
+      cfg_(cfg),
+      always_on_(std::move(always_on)),
+      gated_core_(net->num_nodes(), false),
+      powered_(net->num_nodes(), true) {
+  FLOV_CHECK(static_cast<int>(always_on_.size()) == net_->num_nodes(),
+             "always_on mask size mismatch");
+  // Initial tables: everything powered.
+  routing_->install(std::make_shared<UpDownRoutes>(
+      net_->geom(), std::vector<bool>(net_->num_nodes(), true)));
+}
+
+void FabricManager::set_core_gated(NodeId core, bool gated, Cycle now) {
+  (void)now;
+  if (gated_core_[core] == gated) return;
+  gated_core_[core] = gated;
+  dirty_ = true;
+}
+
+void FabricManager::begin_reconfig(Cycle now) {
+  phase_ = Phase::kDraining;
+  reconfig_start_ = now;
+  for (NodeId i = 0; i < net_->num_nodes(); ++i) {
+    net_->ni(i).set_injection_stalled(true);
+  }
+}
+
+void FabricManager::apply(Cycle now) {
+  powered_ = compute_parked_set(net_->geom(), gated_core_, always_on_,
+                                cfg_.policy);
+  auto routes = std::make_shared<UpDownRoutes>(net_->geom(), powered_);
+  FLOV_CHECK(routes->all_powered_connected(),
+             "RP parked set disconnected the powered sub-graph");
+  routing_->install(std::move(routes));
+  for (NodeId i = 0; i < net_->num_nodes(); ++i) {
+    net_->router(i).set_mode(
+        powered_[i] ? RouterMode::kPipeline : RouterMode::kParked, now);
+    // Packets generated before the change but aimed at a node that is now
+    // parked have no legal route; void them (counted; the OS/coherence
+    // layer would never address a parked node in steady state).
+    purged_ += net_->ni(i).purge_queue([&](const PacketDescriptor& p) {
+      return !powered_[p.dest];
+    });
+  }
+  dirty_ = false;
+}
+
+void FabricManager::step(Cycle now) {
+  switch (phase_) {
+    case Phase::kStable:
+      if (dirty_ && now >= next_allowed_) begin_reconfig(now);
+      break;
+    case Phase::kDraining:
+      if (net_->in_flight_empty()) {
+        phase_ = Phase::kComputing;
+        phase_end_ = now + cfg_.phase1_latency;
+      }
+      break;
+    case Phase::kComputing:
+      if (now >= phase_end_) {
+        apply(now);
+        phase_ = Phase::kWaking;
+        phase_end_ = now + cfg_.wakeup_latency;
+      }
+      break;
+    case Phase::kWaking:
+      if (now >= phase_end_) {
+        phase_ = Phase::kStable;
+        last_duration_ = now - reconfig_start_;
+        next_allowed_ = now + cfg_.min_epoch_gap;
+        reconfigs_++;
+        for (NodeId i = 0; i < net_->num_nodes(); ++i) {
+          net_->ni(i).set_injection_stalled(false);
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace flov

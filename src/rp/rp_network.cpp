@@ -1,0 +1,35 @@
+#include "rp/rp_network.hpp"
+
+namespace flov {
+
+RpNetwork::RpNetwork(NocParams params, const EnergyParams& energy,
+                     FabricManagerConfig fm_cfg, std::vector<bool> always_on)
+    : params_(params), geom_(params.width, params.height) {
+  params_.enable_escape_diversion = false;  // up*/down* is deadlock-free
+  power_ = std::make_unique<PowerTracker>(geom_, energy,
+                                          /*flov_hardware=*/false);
+  routing_ = std::make_unique<TableRouting>(geom_);
+  net_ = std::make_unique<Network>(params_, routing_.get(), power_.get());
+  if (always_on.empty()) always_on.assign(geom_.num_nodes(), false);
+  fm_cfg.wakeup_latency = params_.wakeup_latency;
+  fm_ = std::make_unique<FabricManager>(net_.get(), routing_.get(), fm_cfg,
+                                        std::move(always_on));
+}
+
+void RpNetwork::step(Cycle now) {
+  // The FM steps FIRST: a gating change reported this cycle must assert
+  // the injection stall before any NI starts a packet under stale tables
+  // (e.g. toward a just-reactivated core whose router is still parked).
+  fm_->step(now);
+  net_->step(now);
+}
+
+int RpNetwork::parked_router_count() const {
+  int n = 0;
+  for (NodeId i = 0; i < geom_.num_nodes(); ++i) {
+    if (!fm_->router_powered(i)) ++n;
+  }
+  return n;
+}
+
+}  // namespace flov

@@ -1,0 +1,55 @@
+// Router Parking system: mesh network + table routing + fabric manager.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/network.hpp"
+#include "noc/system_iface.hpp"
+#include "power/power_tracker.hpp"
+#include "routing/table_routing.hpp"
+#include "rp/fabric_manager.hpp"
+
+namespace flov {
+
+class RpNetwork final : public NocSystem {
+ public:
+  /// `always_on`: routers that may never park (empty = none). RP hardware
+  /// has no FLOV latches, so routers pay no FLOV leakage overhead and the
+  /// escape-diversion mechanism is disabled (up*/down* is deadlock-free).
+  RpNetwork(NocParams params, const EnergyParams& energy,
+            FabricManagerConfig fm_cfg = {},
+            std::vector<bool> always_on = {});
+
+  void step(Cycle now) override;
+  void set_core_gated(NodeId core, bool gated, Cycle now) override {
+    fm_->set_core_gated(core, gated, now);
+  }
+  bool core_gated(NodeId core) const override {
+    return fm_->core_gated(core);
+  }
+  bool injection_allowed(NodeId src) const override {
+    return !fm_->core_gated(src) && !fm_->stalled();
+  }
+  Network& network() override { return *net_; }
+  const Network& network() const override { return *net_; }
+  const char* name() const override { return "RP"; }
+
+  PowerTracker& power() { return *power_; }
+  const PowerTracker& power() const { return *power_; }
+  FabricManager& fabric_manager() { return *fm_; }
+  const FabricManager& fabric_manager() const { return *fm_; }
+
+  int parked_router_count() const;
+
+ private:
+  NocParams params_;
+  MeshGeometry geom_;
+  std::unique_ptr<PowerTracker> power_;
+  std::unique_ptr<TableRouting> routing_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<FabricManager> fm_;
+};
+
+}  // namespace flov

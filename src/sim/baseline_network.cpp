@@ -1,0 +1,15 @@
+#include "sim/baseline_network.hpp"
+
+namespace flov {
+
+BaselineNetwork::BaselineNetwork(NocParams params, const EnergyParams& energy)
+    : params_(params), geom_(params.width, params.height) {
+  params_.enable_escape_diversion = false;  // YX is deadlock-free
+  power_ = std::make_unique<PowerTracker>(geom_, energy,
+                                          /*flov_hardware=*/false);
+  routing_ = std::make_unique<YxRouting>(geom_);
+  net_ = std::make_unique<Network>(params_, routing_.get(), power_.get());
+  gated_.assign(geom_.num_nodes(), false);
+}
+
+}  // namespace flov

@@ -1,0 +1,43 @@
+// Baseline system: plain YX mesh, no router power-gating (the paper's
+// "Baseline"). Core gating still stops that core's traffic, but every
+// router stays powered, so static power is flat.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "noc/system_iface.hpp"
+#include "power/power_tracker.hpp"
+#include "routing/yx_routing.hpp"
+
+namespace flov {
+
+class BaselineNetwork final : public NocSystem {
+ public:
+  BaselineNetwork(NocParams params, const EnergyParams& energy);
+
+  void step(Cycle now) override { net_->step(now); }
+  void set_core_gated(NodeId core, bool gated, Cycle now) override {
+    (void)now;
+    gated_[core] = gated;
+  }
+  bool core_gated(NodeId core) const override { return gated_[core]; }
+  bool injection_allowed(NodeId src) const override { return !gated_[src]; }
+  Network& network() override { return *net_; }
+  const Network& network() const override { return *net_; }
+  const char* name() const override { return "Baseline"; }
+
+  PowerTracker& power() { return *power_; }
+  const PowerTracker& power() const { return *power_; }
+
+ private:
+  NocParams params_;
+  MeshGeometry geom_;
+  std::unique_ptr<PowerTracker> power_;
+  std::unique_ptr<YxRouting> routing_;
+  std::unique_ptr<Network> net_;
+  std::vector<bool> gated_;
+};
+
+}  // namespace flov

@@ -1,0 +1,80 @@
+#include "sim/experiment.hpp"
+
+#include "common/log.hpp"
+#include "flov/flov_network.hpp"
+#include "rp/rp_network.hpp"
+#include "traffic/gating_scenario.hpp"
+#include "traffic/synthetic_traffic.hpp"
+#include "traffic/traffic_pattern.hpp"
+
+namespace flov {
+
+RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
+  BuiltSystem built = build_system(cfg.scheme, cfg.noc, cfg.energy);
+  NocSystem& sys = *built.system;
+  Network& net = sys.network();
+
+  auto pattern = TrafficPattern::create(cfg.pattern, net.geom());
+  SyntheticTraffic traffic(&sys, pattern.get(), cfg.inj_rate_flits,
+                           cfg.noc.packet_size, cfg.seed * 7919 + 13);
+
+  GatingScenario scenario =
+      cfg.gating_changes.empty()
+          ? GatingScenario::uniform_fraction(net.geom(), cfg.gated_fraction,
+                                             cfg.seed)
+          : GatingScenario::epochs(net.geom(), cfg.gated_fraction,
+                                   cfg.gating_changes, cfg.seed);
+
+  LatencyStats stats(/*router_pipeline_cycles=*/3, cfg.timeline_window);
+  stats.set_measure_from(cfg.warmup);
+  net.set_eject_callback(
+      [&stats](const PacketRecord& r) { stats.record(r); });
+
+  const Cycle total = cfg.warmup + cfg.measure;
+  std::uint64_t last_ejected = 0;
+  Cycle last_progress = 0;
+  for (Cycle now = 0; now < total; ++now) {
+    scenario.apply(sys, now);
+    traffic.step(now);
+    sys.step(now);
+    if (now == cfg.warmup) built.power->begin_window(now);
+    if (cfg.watchdog && (now % 1024) == 0) {
+      const std::uint64_t ej = net.total_ejected_flits();
+      if (ej != last_ejected || net.in_flight_empty()) {
+        last_ejected = ej;
+        last_progress = now;
+      } else {
+        FLOV_CHECK(now - last_progress < cfg.watchdog,
+                   std::string("no forward progress (possible deadlock) in ") +
+                       to_string(cfg.scheme));
+      }
+    }
+  }
+
+  RunResult r;
+  r.scheme = to_string(cfg.scheme);
+  r.avg_latency = stats.avg_latency();
+  r.p50_latency = stats.latency_percentile(50);
+  r.p99_latency = stats.latency_percentile(99);
+  r.breakdown = stats.avg_breakdown();
+  r.power = built.power->report(total);
+  r.packets_measured = stats.packets();
+  r.packets_generated = traffic.generated_packets();
+  r.injected_flits = net.total_injected_flits();
+  r.ejected_flits = net.total_ejected_flits();
+  r.escape_packets = stats.escape_packets();
+  if (auto* f = dynamic_cast<FlovNetwork*>(&sys)) {
+    r.gated_routers_end = f->gated_router_count();
+    const auto ps = f->protocol_stats(total);
+    r.avg_gated_routers = ps.avg_gated_routers;
+    r.protocol_sleeps = ps.sleeps;
+    r.protocol_wakeups = ps.wakeups;
+  } else if (auto* p = dynamic_cast<RpNetwork*>(&sys)) {
+    r.gated_routers_end = p->parked_router_count();
+    r.avg_gated_routers = r.gated_routers_end;
+  }
+  if (const TimeSeries* ts = stats.timeline()) r.timeline = ts->points();
+  return r;
+}
+
+}  // namespace flov

@@ -1,0 +1,59 @@
+// Synthetic-workload experiment harness shared by benches, examples and
+// integration tests. Reproduces the paper's methodology: Table-I network,
+// seeded gating scenario, Bernoulli traffic, 10k-cycle warm-up, 100k-cycle
+// total run, measurement over the post-warm-up window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/noc_params.hpp"
+#include "power/power_tracker.hpp"
+#include "sim/builder.hpp"
+#include "sim/latency_stats.hpp"
+
+namespace flov {
+
+struct SyntheticExperimentConfig {
+  NocParams noc;         ///< Table-I defaults
+  EnergyParams energy;   ///< 32 nm / 2 GHz defaults
+  Scheme scheme = Scheme::kBaseline;
+  std::string pattern = "uniform";
+  double inj_rate_flits = 0.02;  ///< flits/cycle/node
+  double gated_fraction = 0.0;
+  Cycle warmup = 10000;
+  Cycle measure = 90000;  ///< total run = warmup + measure (paper: 100k)
+  std::uint64_t seed = 1;
+  /// Extra gating-set changes mid-run (Fig. 10); empty for the sweeps.
+  std::vector<Cycle> gating_changes;
+  /// Latency-vs-time bucket width (0 = no timeline).
+  Cycle timeline_window = 0;
+  /// Abort if no packet makes progress for this long (0 = disabled).
+  Cycle watchdog = 50000;
+};
+
+struct RunResult {
+  std::string scheme;
+  double avg_latency = 0.0;
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  LatencyBreakdown breakdown;
+  PowerTracker::Report power;
+  std::uint64_t packets_measured = 0;
+  std::uint64_t packets_generated = 0;
+  std::uint64_t injected_flits = 0;
+  std::uint64_t ejected_flits = 0;
+  std::uint64_t escape_packets = 0;
+  int gated_routers_end = 0;  ///< routers asleep/parked when the run ended
+  /// Time-average number of gated routers (FLOV schemes; for RP equals the
+  /// end-of-run parked count, which is steady between reconfigurations).
+  double avg_gated_routers = 0.0;
+  std::uint64_t protocol_sleeps = 0;   ///< FLOV Sleep entries
+  std::uint64_t protocol_wakeups = 0;  ///< FLOV completed wakeups
+  std::vector<TimeSeries::Point> timeline;
+};
+
+RunResult run_synthetic(const SyntheticExperimentConfig& cfg);
+
+}  // namespace flov

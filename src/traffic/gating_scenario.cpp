@@ -1,0 +1,56 @@
+#include "traffic/gating_scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+std::vector<bool> GatingScenario::random_mask(const MeshGeometry& geom,
+                                              double fraction, Rng& rng) {
+  const int n = geom.num_nodes();
+  const int count = static_cast<int>(fraction * n + 0.5);
+  FLOV_CHECK(count >= 0 && count < n, "gated fraction must leave a core on");
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.shuffle(ids);
+  std::vector<bool> mask(n, false);
+  for (int i = 0; i < count; ++i) mask[ids[i]] = true;
+  return mask;
+}
+
+GatingScenario GatingScenario::uniform_fraction(const MeshGeometry& geom,
+                                                double fraction,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  return GatingScenario({Event{0, random_mask(geom, fraction, rng)}});
+}
+
+GatingScenario GatingScenario::epochs(const MeshGeometry& geom,
+                                      double fraction,
+                                      const std::vector<Cycle>& change_points,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> evs;
+  evs.push_back(Event{0, random_mask(geom, fraction, rng)});
+  for (Cycle c : change_points) {
+    evs.push_back(Event{c, random_mask(geom, fraction, rng)});
+  }
+  return GatingScenario(std::move(evs));
+}
+
+void GatingScenario::apply(NocSystem& sys, Cycle now) {
+  while (next_event_ < events_.size() && events_[next_event_].at <= now) {
+    const Event& e = events_[next_event_];
+    for (NodeId n = 0; n < static_cast<NodeId>(e.gated.size()); ++n) {
+      if (current_.empty() || current_[n] != e.gated[n]) {
+        sys.set_core_gated(n, e.gated[n], now);
+      }
+    }
+    current_ = e.gated;
+    ++next_event_;
+  }
+}
+
+}  // namespace flov

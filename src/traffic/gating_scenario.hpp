@@ -1,0 +1,55 @@
+// Core power-gating scenarios — the "OS" of the experiments.
+//
+// A scenario is a timeline of full gated-set replacements. The synthetic
+// sweeps gate a seeded random fraction of cores at cycle 0 (Figs. 6-9);
+// the reconfiguration study re-randomizes the gated set mid-run
+// (Fig. 10: changes at 50k and 60k cycles).
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "noc/system_iface.hpp"
+
+namespace flov {
+
+class GatingScenario {
+ public:
+  struct Event {
+    Cycle at = 0;
+    std::vector<bool> gated;  ///< full per-core mask
+  };
+
+  GatingScenario() = default;
+  explicit GatingScenario(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  /// Gate `fraction` of the cores (seeded random subset) from cycle 0.
+  static GatingScenario uniform_fraction(const MeshGeometry& geom,
+                                         double fraction, std::uint64_t seed);
+
+  /// Fig. 10 scenario: `fraction` gated, set re-randomized at each cycle
+  /// in `change_points`.
+  static GatingScenario epochs(const MeshGeometry& geom, double fraction,
+                               const std::vector<Cycle>& change_points,
+                               std::uint64_t seed);
+
+  /// Applies all events due at `now` to the system (idempotent per event).
+  void apply(NocSystem& sys, Cycle now);
+
+  /// Current gated mask as of the last applied event (empty if none yet).
+  const std::vector<bool>& current() const { return current_; }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  static std::vector<bool> random_mask(const MeshGeometry& geom,
+                                       double fraction, Rng& rng);
+
+  std::vector<Event> events_;
+  std::size_t next_event_ = 0;
+  std::vector<bool> current_;
+};
+
+}  // namespace flov

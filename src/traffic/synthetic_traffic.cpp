@@ -1,0 +1,45 @@
+#include "traffic/synthetic_traffic.hpp"
+
+#include "common/log.hpp"
+
+namespace flov {
+
+SyntheticTraffic::SyntheticTraffic(NocSystem* sys,
+                                   const TrafficPattern* pattern,
+                                   double inj_rate_flits, int packet_size,
+                                   std::uint64_t seed)
+    : sys_(sys),
+      pattern_(pattern),
+      packet_prob_(inj_rate_flits / packet_size),
+      packet_size_(packet_size) {
+  FLOV_CHECK(packet_prob_ <= 1.0, "injection rate exceeds 1 packet/cycle");
+  Rng seeder(seed);
+  const int n = sys_->network().num_nodes();
+  rngs_.reserve(n);
+  for (int i = 0; i < n; ++i) rngs_.push_back(seeder.split());
+  active_.assign(n, true);
+}
+
+void SyntheticTraffic::step(Cycle now) {
+  const int n = sys_->network().num_nodes();
+  for (NodeId i = 0; i < n; ++i) active_[i] = !sys_->core_gated(i);
+  for (NodeId src = 0; src < n; ++src) {
+    if (!active_[src]) continue;
+    if (!rngs_[src].next_bool(packet_prob_)) continue;
+    const NodeId dst = pattern_->dest(src, active_, rngs_[src]);
+    if (dst == kInvalidNode) {
+      ++skipped_;
+      continue;
+    }
+    PacketDescriptor p;
+    p.src = src;
+    p.dest = dst;
+    p.vnet = 0;
+    p.size_flits = packet_size_;
+    p.gen_cycle = now;
+    sys_->network().enqueue(p);
+    ++generated_;
+  }
+}
+
+}  // namespace flov

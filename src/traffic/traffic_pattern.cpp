@@ -1,0 +1,96 @@
+#include "traffic/traffic_pattern.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace flov {
+namespace {
+
+/// Validated deterministic target: active and not the source.
+NodeId checked(NodeId src, NodeId dst, const std::vector<bool>& active) {
+  if (dst == src || dst == kInvalidNode || !active[dst]) return kInvalidNode;
+  return dst;
+}
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> TrafficPattern::create(
+    const std::string& name, const MeshGeometry& geom) {
+  if (name == "uniform") return std::make_unique<UniformPattern>(geom);
+  if (name == "tornado") return std::make_unique<TornadoPattern>(geom);
+  if (name == "transpose") return std::make_unique<TransposePattern>(geom);
+  if (name == "bitcomplement") {
+    return std::make_unique<BitComplementPattern>(geom);
+  }
+  if (name == "neighbor") return std::make_unique<NeighborPattern>(geom);
+  if (name == "hotspot") return std::make_unique<HotspotPattern>(geom);
+  FLOV_CHECK(false, "unknown traffic pattern: " + name);
+  return nullptr;
+}
+
+NodeId UniformPattern::dest(NodeId src, const std::vector<bool>& active,
+                            Rng& rng) const {
+  int count = 0;
+  for (NodeId n = 0; n < geom_.num_nodes(); ++n) {
+    if (active[n] && n != src) ++count;
+  }
+  if (count == 0) return kInvalidNode;
+  int pick = static_cast<int>(rng.next_below(count));
+  for (NodeId n = 0; n < geom_.num_nodes(); ++n) {
+    if (active[n] && n != src) {
+      if (pick == 0) return n;
+      --pick;
+    }
+  }
+  return kInvalidNode;
+}
+
+NodeId TornadoPattern::dest(NodeId src, const std::vector<bool>& active,
+                            Rng& /*rng*/) const {
+  const Coord c = geom_.coord(src);
+  const int k = geom_.width();
+  const int dx = (k + 1) / 2 - 1;  // ceil(k/2) - 1
+  if (dx == 0) return kInvalidNode;
+  return checked(src, geom_.id((c.x + dx) % k, c.y), active);
+}
+
+NodeId TransposePattern::dest(NodeId src, const std::vector<bool>& active,
+                              Rng& /*rng*/) const {
+  const Coord c = geom_.coord(src);
+  if (c.x >= geom_.height() || c.y >= geom_.width()) return kInvalidNode;
+  return checked(src, geom_.id(c.y, c.x), active);
+}
+
+NodeId BitComplementPattern::dest(NodeId src,
+                                  const std::vector<bool>& active,
+                                  Rng& /*rng*/) const {
+  const int n = geom_.num_nodes();
+  FLOV_CHECK((n & (n - 1)) == 0, "bitcomplement needs power-of-two nodes");
+  return checked(src, (~src) & (n - 1), active);
+}
+
+NodeId NeighborPattern::dest(NodeId src, const std::vector<bool>& active,
+                             Rng& /*rng*/) const {
+  const Coord c = geom_.coord(src);
+  return checked(src, geom_.id((c.x + 1) % geom_.width(), c.y), active);
+}
+
+HotspotPattern::HotspotPattern(const MeshGeometry& geom, double hot_fraction)
+    : geom_(geom), hot_fraction_(hot_fraction), uniform_(geom) {
+  hotspots_ = {geom.id(0, 0), geom.id(geom.width() - 1, 0),
+               geom.id(0, geom.height() - 1),
+               geom.id(geom.width() - 1, geom.height() - 1)};
+}
+
+NodeId HotspotPattern::dest(NodeId src, const std::vector<bool>& active,
+                            Rng& rng) const {
+  if (rng.next_bool(hot_fraction_)) {
+    const NodeId h = hotspots_[rng.next_below(hotspots_.size())];
+    const NodeId ok = (h != src && active[h]) ? h : kInvalidNode;
+    if (ok != kInvalidNode) return ok;
+  }
+  return uniform_.dest(src, active, rng);
+}
+
+}  // namespace flov

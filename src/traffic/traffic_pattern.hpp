@@ -1,0 +1,114 @@
+// Synthetic traffic patterns.
+//
+// A pattern maps a source to a destination. Destinations are restricted to
+// ACTIVE cores (the paper's model: power-gated cores neither send nor
+// receive synthetic traffic; "communication occurs between two power-on
+// nodes"). Deterministic patterns (tornado, transpose, ...) return
+// kInvalidNode when their fixed target is gated — the source simply does
+// not generate that packet.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Destination for a packet from `src`, or kInvalidNode to skip.
+  /// `active[n]` marks cores that may receive traffic.
+  virtual NodeId dest(NodeId src, const std::vector<bool>& active,
+                      Rng& rng) const = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Factory: "uniform", "tornado", "transpose", "bitcomplement",
+  /// "neighbor", "hotspot".
+  static std::unique_ptr<TrafficPattern> create(const std::string& name,
+                                                const MeshGeometry& geom);
+};
+
+/// Uniform random over active cores other than the source.
+class UniformPattern final : public TrafficPattern {
+ public:
+  explicit UniformPattern(const MeshGeometry& geom) : geom_(geom) {}
+  NodeId dest(NodeId src, const std::vector<bool>& active,
+              Rng& rng) const override;
+  const char* name() const override { return "uniform"; }
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+/// Tornado: (x, y) -> ((x + ceil(k/2) - 1) mod k, y) — same-row pressure.
+class TornadoPattern final : public TrafficPattern {
+ public:
+  explicit TornadoPattern(const MeshGeometry& geom) : geom_(geom) {}
+  NodeId dest(NodeId src, const std::vector<bool>& active,
+              Rng& rng) const override;
+  const char* name() const override { return "tornado"; }
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+/// Transpose: (x, y) -> (y, x).
+class TransposePattern final : public TrafficPattern {
+ public:
+  explicit TransposePattern(const MeshGeometry& geom) : geom_(geom) {}
+  NodeId dest(NodeId src, const std::vector<bool>& active,
+              Rng& rng) const override;
+  const char* name() const override { return "transpose"; }
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+/// Bit-complement on the node id (requires power-of-two node count).
+class BitComplementPattern final : public TrafficPattern {
+ public:
+  explicit BitComplementPattern(const MeshGeometry& geom) : geom_(geom) {}
+  NodeId dest(NodeId src, const std::vector<bool>& active,
+              Rng& rng) const override;
+  const char* name() const override { return "bitcomplement"; }
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+/// Nearest-neighbor ring within the row: (x, y) -> ((x + 1) mod k, y).
+class NeighborPattern final : public TrafficPattern {
+ public:
+  explicit NeighborPattern(const MeshGeometry& geom) : geom_(geom) {}
+  NodeId dest(NodeId src, const std::vector<bool>& active,
+              Rng& rng) const override;
+  const char* name() const override { return "neighbor"; }
+
+ private:
+  const MeshGeometry& geom_;
+};
+
+/// A fraction of traffic targets the four corner nodes (MC-like hotspots);
+/// the rest is uniform.
+class HotspotPattern final : public TrafficPattern {
+ public:
+  HotspotPattern(const MeshGeometry& geom, double hot_fraction = 0.3);
+  NodeId dest(NodeId src, const std::vector<bool>& active,
+              Rng& rng) const override;
+  const char* name() const override { return "hotspot"; }
+
+ private:
+  const MeshGeometry& geom_;
+  double hot_fraction_;
+  std::vector<NodeId> hotspots_;
+  UniformPattern uniform_;
+};
+
+}  // namespace flov

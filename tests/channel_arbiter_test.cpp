@@ -1,0 +1,116 @@
+// Unit tests for the pipelined channel and the round-robin arbiter.
+#include <gtest/gtest.h>
+
+#include "noc/arbiter.hpp"
+#include "noc/channel.hpp"
+
+namespace flov {
+namespace {
+
+TEST(Channel, DeliversAfterLatency) {
+  Channel<int> ch(1);
+  ch.send(10, 7);
+  EXPECT_FALSE(ch.recv(10).has_value());  // not yet visible
+  auto v = ch.recv(11);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(ch.recv(12).has_value());
+}
+
+TEST(Channel, MultiCycleLatency) {
+  Channel<int> ch(3);
+  ch.send(0, 1);
+  EXPECT_FALSE(ch.recv(2).has_value());
+  EXPECT_TRUE(ch.recv(3).has_value());
+}
+
+TEST(Channel, FifoOrderPreserved) {
+  Channel<int> ch(1);
+  for (int i = 0; i < 5; ++i) ch.send(i, i);
+  for (int i = 0; i < 5; ++i) {
+    auto v = ch.recv(100);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(Channel, RecvAllDrainsDueItems) {
+  Channel<int> ch(1);
+  ch.send(0, 1);
+  ch.send(0, 2);
+  ch.send(5, 3);
+  const auto due = ch.recv_all(1);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0], 1);
+  EXPECT_EQ(due[1], 2);
+  EXPECT_EQ(ch.in_flight(), 1u);
+}
+
+TEST(Channel, ClearVoidsInFlight) {
+  Channel<int> ch(1);
+  ch.send(0, 1);
+  ch.clear();
+  EXPECT_TRUE(ch.empty());
+  EXPECT_FALSE(ch.recv(10).has_value());
+}
+
+TEST(Channel, ForEachInFlightVisitsAll) {
+  Channel<int> ch(2);
+  ch.send(0, 5);
+  ch.send(1, 6);
+  int sum = 0;
+  ch.for_each_in_flight([&](int v) { sum += v; });
+  EXPECT_EQ(sum, 11);
+}
+
+TEST(Arbiter, GrantsOnlyRequesters) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.arbitrate({false, false, false, false}), -1);
+  EXPECT_EQ(a.arbitrate({false, false, true, false}), 2);
+}
+
+TEST(Arbiter, RotatesPastWinner) {
+  RoundRobinArbiter a(3);
+  std::vector<bool> all{true, true, true};
+  EXPECT_EQ(a.arbitrate(all), 0);
+  EXPECT_EQ(a.arbitrate(all), 1);
+  EXPECT_EQ(a.arbitrate(all), 2);
+  EXPECT_EQ(a.arbitrate(all), 0);
+}
+
+TEST(Arbiter, FairUnderContention) {
+  RoundRobinArbiter a(4);
+  std::vector<int> grants(4, 0);
+  std::vector<bool> req{true, true, true, true};
+  for (int i = 0; i < 400; ++i) grants[a.arbitrate(req)]++;
+  for (int g : grants) EXPECT_EQ(g, 100);
+}
+
+TEST(Arbiter, SkipsNonRequesters) {
+  RoundRobinArbiter a(4);
+  std::vector<bool> req{true, false, true, false};
+  EXPECT_EQ(a.arbitrate(req), 0);
+  EXPECT_EQ(a.arbitrate(req), 2);
+  EXPECT_EQ(a.arbitrate(req), 0);
+}
+
+class ArbiterSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArbiterSizes, EveryRequesterEventuallyWins) {
+  const int n = GetParam();
+  RoundRobinArbiter a(n);
+  std::vector<bool> req(n, true);
+  std::vector<bool> won(n, false);
+  for (int i = 0; i < 2 * n; ++i) {
+    const int w = a.arbitrate(req);
+    ASSERT_GE(w, 0);
+    won[w] = true;
+  }
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(won[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArbiterSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 20));
+
+}  // namespace
+}  // namespace flov

@@ -1,0 +1,203 @@
+// Coherence race-condition tests: the specific interleavings the blocking
+// MSI directory must resolve (writeback racing a forward, stale sharer
+// invalidations, flush racing invalidations), plus message-class plumbing.
+#include <gtest/gtest.h>
+
+#include "cmp/directory.hpp"
+#include "cmp/l1_cache.hpp"
+#include "cmp/message.hpp"
+
+namespace flov {
+namespace {
+
+TEST(MessageClasses, VnetAssignmentSeparatesProtocolClasses) {
+  // Requests on vnet 0, forwards on vnet 1, responses on vnet 2 — the
+  // ordering that makes the protocol deadlock-free over the NoC.
+  EXPECT_EQ(vnet_of(MsgType::kGetS), 0);
+  EXPECT_EQ(vnet_of(MsgType::kGetM), 0);
+  EXPECT_EQ(vnet_of(MsgType::kPutM), 0);
+  EXPECT_EQ(vnet_of(MsgType::kPutS), 0);
+  EXPECT_EQ(vnet_of(MsgType::kFwdGetS), 1);
+  EXPECT_EQ(vnet_of(MsgType::kFwdGetM), 1);
+  EXPECT_EQ(vnet_of(MsgType::kInv), 1);
+  EXPECT_EQ(vnet_of(MsgType::kData), 2);
+  EXPECT_EQ(vnet_of(MsgType::kDataToDir), 2);
+  EXPECT_EQ(vnet_of(MsgType::kInvAck), 2);
+  EXPECT_EQ(vnet_of(MsgType::kPutAck), 2);
+}
+
+TEST(MessageClasses, DataMessagesCarryFiveFlits) {
+  EXPECT_EQ(flits_of(MsgType::kData), 5);      // 64B / 16B + header
+  EXPECT_EQ(flits_of(MsgType::kPutM), 5);
+  EXPECT_EQ(flits_of(MsgType::kDataToDir), 5);
+  EXPECT_EQ(flits_of(MsgType::kGetS), 1);
+  EXPECT_EQ(flits_of(MsgType::kInv), 1);
+}
+
+struct L1Fixture {
+  L1Fixture()
+      : l1(1, 4, 7, [this](const CoherenceMsg& m) { sent.push_back(m); },
+           [](Addr) { return NodeId{0}; }) {}
+  void grant(Addr a, Grant g) {
+    CoherenceMsg d;
+    d.type = MsgType::kData;
+    d.addr = a;
+    d.grant = g;
+    l1.on_message(d);
+  }
+  std::vector<CoherenceMsg> sent;
+  L1Cache l1;
+};
+
+TEST(L1Races, FwdGetSDuringWritebackServedFromPendingData) {
+  // Owner evicts (PutM in flight); a FwdGetS for the same block arrives
+  // before the PutAck: the L1 must still supply the requester and the dir.
+  L1Fixture f;
+  f.l1.access(100, true);
+  f.grant(100, Grant::kM);  // own block 100 in M
+  // Fill to capacity and trigger eviction of something; force block 100
+  // out deterministically by flushing instead.
+  f.l1.begin_flush();
+  f.l1.flush_step();  // emits PutM(100)
+  ASSERT_FALSE(f.l1.flush_done());  // WB pending
+  f.sent.clear();
+
+  CoherenceMsg fwd;
+  fwd.type = MsgType::kFwdGetS;
+  fwd.addr = 100;
+  fwd.src = 0;
+  fwd.dst = 1;
+  fwd.requester = 9;
+  f.l1.on_message(fwd);
+  ASSERT_EQ(f.sent.size(), 2u);
+  EXPECT_EQ(f.sent[0].type, MsgType::kData);
+  EXPECT_EQ(f.sent[0].dst, 9);
+  EXPECT_EQ(f.sent[1].type, MsgType::kDataToDir);
+
+  // The stale PutM is eventually acked; the flush completes.
+  CoherenceMsg ack;
+  ack.type = MsgType::kPutAck;
+  ack.addr = 100;
+  f.l1.on_message(ack);
+  EXPECT_TRUE(f.l1.flush_done());
+}
+
+TEST(L1Races, InvForUncachedBlockStillAcks) {
+  // PutS raced with an Inv: the block is gone, but the directory is
+  // counting acks, so the L1 must ack anyway.
+  L1Fixture f;
+  CoherenceMsg inv;
+  inv.type = MsgType::kInv;
+  inv.addr = 555;
+  inv.src = 0;
+  f.l1.on_message(inv);
+  ASSERT_EQ(f.sent.size(), 1u);
+  EXPECT_EQ(f.sent[0].type, MsgType::kInvAck);
+}
+
+TEST(L1Races, InvDuringFlushRemovesFromFlushQueue) {
+  L1Fixture f;
+  f.l1.access(100, false);
+  f.grant(100, Grant::kS);  // S
+  f.l1.begin_flush();
+  // Inv arrives before flush_step reaches the block.
+  CoherenceMsg inv;
+  inv.type = MsgType::kInv;
+  inv.addr = 100;
+  inv.src = 0;
+  f.l1.on_message(inv);
+  f.sent.clear();
+  for (int i = 0; i < 5; ++i) f.l1.flush_step();
+  // No duplicate PutS for the already-invalidated block.
+  EXPECT_TRUE(f.sent.empty());
+  EXPECT_TRUE(f.l1.flush_done());
+}
+
+struct DirFixture {
+  DirFixture()
+      : bank(0, DirectoryConfig{16, 2, 10},
+             [this](const CoherenceMsg& m) { sent.push_back(m); }) {}
+  void run(int cycles) {
+    for (int i = 0; i < cycles; ++i) bank.step(now++);
+  }
+  CoherenceMsg req(MsgType t, Addr a, NodeId from) {
+    CoherenceMsg m;
+    m.type = t;
+    m.addr = a;
+    m.src = from;
+    m.dst = 0;
+    m.requester = from;
+    return m;
+  }
+  std::vector<CoherenceMsg> sent;
+  DirectoryBank bank;
+  Cycle now = 0;
+};
+
+TEST(DirRaces, PutMRacingFwdResolvesThroughDataToDir) {
+  // 3 owns block. 4's GetS is processed first (Fwd to 3); 3's concurrent
+  // PutM arrives while the transaction is live, queues, and is finally
+  // treated as stale (acked, ignored).
+  DirFixture f;
+  f.bank.enqueue(f.req(MsgType::kGetM, 100, 3));
+  f.run(20);
+  f.sent.clear();
+  f.bank.enqueue(f.req(MsgType::kGetS, 100, 4));   // fwd to 3
+  f.bank.enqueue(f.req(MsgType::kPutM, 100, 3));   // queued behind
+  f.run(3);
+  ASSERT_EQ(f.sent.size(), 1u);
+  EXPECT_EQ(f.sent[0].type, MsgType::kFwdGetS);
+  f.bank.enqueue(f.req(MsgType::kDataToDir, 100, 3));
+  f.run(5);
+  // Transaction completed; the queued PutM got a PutAck and changed
+  // nothing (3 is a mere sharer now, not the owner).
+  bool acked = false;
+  for (const auto& m : f.sent) acked |= m.type == MsgType::kPutAck;
+  EXPECT_TRUE(acked);
+  // A new GetM over the sharers {3,4} invalidates both.
+  f.sent.clear();
+  f.bank.enqueue(f.req(MsgType::kGetM, 100, 7));
+  f.run(5);
+  int invs = 0;
+  for (const auto& m : f.sent) invs += m.type == MsgType::kInv;
+  EXPECT_EQ(invs, 2);
+}
+
+TEST(DirRaces, PutSFromNonSharerIsHarmless) {
+  DirFixture f;
+  f.bank.enqueue(f.req(MsgType::kGetS, 100, 3));
+  f.run(20);  // 3 holds E (MESI)
+  f.bank.enqueue(f.req(MsgType::kPutS, 100, 9));  // 9 never shared it
+  f.run(3);
+  // 3 still owns the block: GetM from 5 must forward-invalidate it.
+  f.sent.clear();
+  f.bank.enqueue(f.req(MsgType::kGetM, 100, 5));
+  f.run(3);
+  int fwds = 0;
+  for (const auto& m : f.sent) {
+    if (m.type == MsgType::kFwdGetM) {
+      ++fwds;
+      EXPECT_EQ(m.dst, 3);
+    }
+  }
+  EXPECT_EQ(fwds, 1);
+}
+
+TEST(DirRaces, PutERetiresExclusiveOwnership) {
+  DirFixture f;
+  f.bank.enqueue(f.req(MsgType::kGetS, 100, 3));
+  f.run(20);  // 3 holds E
+  f.bank.enqueue(f.req(MsgType::kPutE, 100, 3));
+  f.run(3);
+  // Next GetM needs neither invalidations nor forwards.
+  f.sent.clear();
+  f.bank.enqueue(f.req(MsgType::kGetM, 100, 5));
+  f.run(20);
+  for (const auto& m : f.sent) {
+    EXPECT_NE(m.type, MsgType::kInv);
+    EXPECT_NE(m.type, MsgType::kFwdGetM);
+  }
+}
+
+}  // namespace
+}  // namespace flov

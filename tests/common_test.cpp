@@ -1,0 +1,297 @@
+// Unit tests for common/: geometry, RNG, statistics, configuration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace flov {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+TEST(Geometry, IdCoordRoundTrip) {
+  MeshGeometry g(8, 8);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    EXPECT_EQ(g.id(g.coord(id)), id);
+  }
+}
+
+TEST(Geometry, RowMajorFromTopMatchesPaperFig5) {
+  // In the paper's 4x4 example, router 9 is SOUTH of router 5 and router 6
+  // is EAST of router 5.
+  MeshGeometry g(4, 4);
+  EXPECT_EQ(g.neighbor(5, Direction::South), 9);
+  EXPECT_EQ(g.neighbor(5, Direction::East), 6);
+  EXPECT_EQ(g.neighbor(5, Direction::North), 1);
+  EXPECT_EQ(g.neighbor(5, Direction::West), 4);
+}
+
+TEST(Geometry, EdgesReturnInvalid) {
+  MeshGeometry g(4, 4);
+  EXPECT_EQ(g.neighbor(0, Direction::North), kInvalidNode);
+  EXPECT_EQ(g.neighbor(0, Direction::West), kInvalidNode);
+  EXPECT_EQ(g.neighbor(15, Direction::South), kInvalidNode);
+  EXPECT_EQ(g.neighbor(15, Direction::East), kInvalidNode);
+  EXPECT_EQ(g.neighbor(3, Direction::North), kInvalidNode);
+  EXPECT_EQ(g.neighbor(12, Direction::West), kInvalidNode);
+}
+
+TEST(Geometry, FlovLinkEligibility) {
+  MeshGeometry g(4, 4);
+  // Corners: no FLOV links at all.
+  for (NodeId c : {0, 3, 12, 15}) {
+    EXPECT_TRUE(g.is_corner(c)) << c;
+    EXPECT_FALSE(g.has_both_horizontal_neighbors(c));
+    EXPECT_FALSE(g.has_both_vertical_neighbors(c));
+  }
+  // Top edge (id 1): X-FLOV only.
+  EXPECT_TRUE(g.has_both_horizontal_neighbors(1));
+  EXPECT_FALSE(g.has_both_vertical_neighbors(1));
+  // Left edge (id 4): Y-FLOV only.
+  EXPECT_FALSE(g.has_both_horizontal_neighbors(4));
+  EXPECT_TRUE(g.has_both_vertical_neighbors(4));
+  // Interior (id 5): both.
+  EXPECT_TRUE(g.has_both_horizontal_neighbors(5));
+  EXPECT_TRUE(g.has_both_vertical_neighbors(5));
+}
+
+TEST(Geometry, AonColumnIsLastColumn) {
+  MeshGeometry g(4, 4);
+  for (NodeId id : {3, 7, 11, 15}) EXPECT_TRUE(g.is_aon_column(id)) << id;
+  for (NodeId id : {0, 1, 2, 4, 8, 12, 14}) {
+    EXPECT_FALSE(g.is_aon_column(id)) << id;
+  }
+}
+
+TEST(Geometry, ManhattanHops) {
+  MeshGeometry g(8, 8);
+  EXPECT_EQ(g.hops(0, 63), 14);
+  EXPECT_EQ(g.hops(0, 0), 0);
+  EXPECT_EQ(g.hops(0, 7), 7);
+  EXPECT_EQ(g.hops(7, 0), 7);
+}
+
+TEST(Geometry, OppositeDirections) {
+  EXPECT_EQ(opposite(Direction::North), Direction::South);
+  EXPECT_EQ(opposite(Direction::South), Direction::North);
+  EXPECT_EQ(opposite(Direction::East), Direction::West);
+  EXPECT_EQ(opposite(Direction::West), Direction::East);
+  EXPECT_EQ(opposite(Direction::Local), Direction::Local);
+}
+
+TEST(Geometry, RectangularMesh) {
+  MeshGeometry g(8, 4);
+  EXPECT_EQ(g.num_nodes(), 32);
+  EXPECT_EQ(g.coord(31).x, 7);
+  EXPECT_EQ(g.coord(31).y, 3);
+  EXPECT_EQ(g.neighbor(8, Direction::North), 0);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng r(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    EXPECT_EQ(r.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng r(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.next_bool(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+  EXPECT_FALSE(r.next_bool(0.0));
+  EXPECT_TRUE(r.next_bool(1.0));
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng r(19);
+  Rng a = r.split();
+  Rng b = r.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, AccumulatorBasics) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+}
+
+TEST(Stats, AccumulatorMergeMatchesCombined) {
+  StatAccumulator a, b, all;
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = r.next_double() * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, HistogramPercentiles) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(50), 50, 1.5);
+  EXPECT_NEAR(h.percentile(90), 90, 1.5);
+  EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(Stats, HistogramClampsOutOfRange) {
+  Histogram h(0, 10, 10);
+  h.add(-5);
+  h.add(50);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(Stats, TimeSeriesBuckets) {
+  TimeSeries ts(100);
+  ts.add(10, 1.0);
+  ts.add(20, 3.0);
+  ts.add(150, 10.0);
+  ts.add(950, 7.0);
+  auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].window_start, 0u);
+  EXPECT_DOUBLE_EQ(pts[0].mean, 2.0);
+  EXPECT_EQ(pts[1].window_start, 100u);
+  EXPECT_DOUBLE_EQ(pts[1].mean, 10.0);
+  EXPECT_EQ(pts[2].window_start, 900u);
+}
+
+TEST(Stats, TimeSeriesOutOfOrderInsert) {
+  TimeSeries ts(10);
+  ts.add(100, 1.0);
+  ts.add(5, 2.0);  // earlier window after a later one
+  auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].window_start, 0u);
+  EXPECT_EQ(pts[1].window_start, 100u);
+}
+
+// ------------------------------------------------------------------ config
+
+TEST(Config, TypedAccessAndDefaults) {
+  Config c;
+  c.set("a", 42ll);
+  c.set("b", 2.5);
+  c.set("flag", true);
+  c.set("s", std::string("hello"));
+  EXPECT_EQ(c.get_int("a"), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("b"), 2.5);
+  EXPECT_TRUE(c.get_bool("flag"));
+  EXPECT_EQ(c.get_string("s"), "hello");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("a"), 42.0);  // int readable as double
+}
+
+TEST(Config, MissingKeyThrows) {
+  Config c;
+  EXPECT_THROW(c.get_int("nope"), std::logic_error);
+  EXPECT_THROW(c.get_string("nope"), std::logic_error);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  Config c;
+  c.set("s", std::string("abc"));
+  EXPECT_THROW(c.get_int("s"), std::logic_error);
+  EXPECT_THROW(c.get_bool("s"), std::logic_error);
+}
+
+TEST(Config, ParseArgs) {
+  const char* argv[] = {"prog", "x=1", "noise", "y = 2.5", "name=mesh"};
+  Config c;
+  c.parse_args(5, const_cast<char**>(argv));
+  EXPECT_EQ(c.get_int("x"), 1);
+  EXPECT_DOUBLE_EQ(c.get_double("y"), 2.5);
+  EXPECT_EQ(c.get_string("name"), "mesh");
+  EXPECT_FALSE(c.has("noise"));
+}
+
+TEST(Config, ParseTextWithComments) {
+  Config c;
+  c.parse_text("a = 1\n# comment\nb = two # trailing\n\n");
+  EXPECT_EQ(c.get_int("a"), 1);
+  EXPECT_EQ(c.get_string("b"), "two");
+}
+
+TEST(Config, KeysSortedAndRoundTrip) {
+  Config c;
+  c.set("zz", 1ll);
+  c.set("aa", 2ll);
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "aa");
+  Config d;
+  d.parse_text(c.to_string());
+  EXPECT_EQ(d.get_int("zz"), 1);
+  EXPECT_EQ(d.get_int("aa"), 2);
+}
+
+}  // namespace
+}  // namespace flov

@@ -1,0 +1,134 @@
+// Deadlock-recovery stress tests: adversarial configurations with small
+// buffers and heavy gating where the adaptive regular network can block,
+// so packets must survive via the escape sub-network (Duato recovery).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flov/flov_network.hpp"
+#include "sim/experiment.hpp"
+#include "traffic/traffic_pattern.hpp"
+
+namespace flov {
+namespace {
+
+TEST(EscapeRecovery, TimeoutDivertsBlockedPackets) {
+  // Gate a wall so quadrant packets from the west side must detour; with a
+  // short timeout, some packets take the escape network and still arrive.
+  NocParams p;
+  p.width = 6;
+  p.height = 6;
+  p.deadlock_timeout = 16;  // aggressive diversion
+  p.drain_idle_threshold = 8;
+  FlovNetwork sys(p, FlovMode::kGeneralized, EnergyParams{});
+  std::vector<PacketRecord> recs;
+  sys.network().set_eject_callback(
+      [&](const PacketRecord& r) { recs.push_back(r); });
+  const MeshGeometry g(6, 6);
+  Cycle now = 0;
+  auto run = [&](int k) {
+    for (int i = 0; i < k; ++i) sys.step(now++);
+  };
+  // Gate columns 1..3 of rows 0..4 (a large block).
+  for (int x = 1; x <= 3; ++x) {
+    for (int y = 0; y <= 4; ++y) sys.set_core_gated(g.id(x, y), true, 0);
+  }
+  run(3000);
+  // Traffic from column 0 to quadrant destinations behind the block.
+  int sent = 0;
+  for (int y = 1; y < 5; ++y) {
+    for (int i = 0; i < 6; ++i) {
+      PacketDescriptor d;
+      d.src = g.id(0, y);
+      d.dest = g.id(4, (y + 2) % 6);
+      d.size_flits = 4;
+      sys.network().enqueue(d);
+      ++sent;
+    }
+  }
+  run(8000);
+  EXPECT_EQ(static_cast<int>(recs.size()), sent);
+}
+
+TEST(EscapeRecovery, TinyBuffersHighLoadAllSchemesSurvive) {
+  SyntheticExperimentConfig c;
+  c.noc.width = 6;
+  c.noc.height = 6;
+  c.noc.buffer_depth = 2;       // minimal slack
+  c.noc.deadlock_timeout = 32;
+  c.warmup = 1000;
+  c.measure = 8000;
+  c.inj_rate_flits = 0.10;      // heavy
+  c.gated_fraction = 0.5;
+  c.watchdog = 20000;
+  for (Scheme s : kAllSchemes) {
+    c.scheme = s;
+    const RunResult r = run_synthetic(c);  // watchdog aborts on deadlock
+    EXPECT_GT(r.packets_measured, 0u) << to_string(s);
+  }
+}
+
+TEST(EscapeRecovery, EscapePacketsStayInEscapeAndArrive) {
+  // Force escapes via a dead-end configuration and verify the records mark
+  // them; escape-marked packets must still reach their destinations.
+  NocParams p;
+  p.width = 4;
+  p.height = 4;
+  p.deadlock_timeout = 8;
+  p.drain_idle_threshold = 8;
+  FlovNetwork sys(p, FlovMode::kGeneralized, EnergyParams{});
+  std::vector<PacketRecord> recs;
+  sys.network().set_eject_callback(
+      [&](const PacketRecord& r) { recs.push_back(r); });
+  Cycle now = 0;
+  auto run = [&](int k) {
+    for (int i = 0; i < k; ++i) sys.step(now++);
+  };
+  // Sleep 1 and 4 around router 5; packets arriving at 5 from the East
+  // with NW destinations dead-end there.
+  sys.set_core_gated(1, true, 0);
+  sys.set_core_gated(4, true, 0);
+  run(1500);
+  ASSERT_EQ(sys.hsc(1).state(), PowerState::kSleep);
+  ASSERT_EQ(sys.hsc(4).state(), PowerState::kSleep);
+  PacketDescriptor d;
+  d.src = 6;
+  d.dest = 0;  // NW of router 5
+  d.size_flits = 4;
+  sys.network().enqueue(d);
+  run(2000);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].dest, 0);
+}
+
+TEST(EscapeRecovery, EscapeUnusedOnUncongestedBaseline) {
+  SyntheticExperimentConfig c;
+  c.warmup = 1000;
+  c.measure = 5000;
+  c.scheme = Scheme::kBaseline;
+  c.inj_rate_flits = 0.02;
+  const RunResult r = run_synthetic(c);
+  EXPECT_EQ(r.escape_packets, 0u);
+}
+
+class HighGatingStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(HighGatingStress, GFlov80PercentGatedManySeeds) {
+  SyntheticExperimentConfig c;
+  c.scheme = Scheme::kGFlov;
+  c.gated_fraction = 0.8;
+  c.inj_rate_flits = 0.05;
+  c.warmup = 3000;
+  c.measure = 8000;
+  c.seed = GetParam();
+  c.watchdog = 25000;
+  const RunResult r = run_synthetic(c);
+  EXPECT_GT(r.packets_measured, 0u);
+  // High gating must actually gate routers.
+  EXPECT_GT(r.gated_routers_end, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HighGatingStress,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace flov

@@ -1,0 +1,98 @@
+// Latency breakdown arithmetic (Fig. 8 decomposition) and NI-level
+// record handling.
+#include <gtest/gtest.h>
+
+#include "sim/latency_stats.hpp"
+
+namespace flov {
+namespace {
+
+PacketRecord rec(Cycle gen, Cycle eject, int routers, int links, int flov,
+                 int size) {
+  PacketRecord r;
+  r.gen_cycle = gen;
+  r.inject_cycle = gen;
+  r.eject_cycle = eject;
+  r.router_hops = routers;
+  r.link_hops = links;
+  r.flov_hops = flov;
+  r.size_flits = size;
+  return r;
+}
+
+TEST(LatencyStats, MinimalPacketHasZeroContention) {
+  LatencyStats s(3);
+  // 1 hop on adjacent routers: 2 router pipelines (6) + 1 link + 2 NI
+  // channels + 0 serialization = 9 cycles, the timing the pipeline test
+  // measures.
+  s.record(rec(0, 9, 2, 1, 0, 1));
+  EXPECT_DOUBLE_EQ(s.avg_latency(), 9.0);
+  const auto b = s.avg_breakdown();
+  EXPECT_DOUBLE_EQ(b.router, 6.0);
+  EXPECT_DOUBLE_EQ(b.link, 3.0);
+  EXPECT_DOUBLE_EQ(b.serialization, 0.0);
+  EXPECT_DOUBLE_EQ(b.flov, 0.0);
+  EXPECT_DOUBLE_EQ(b.contention, 0.0);
+  EXPECT_DOUBLE_EQ(b.total(), 9.0);
+}
+
+TEST(LatencyStats, ContentionIsTheResidual) {
+  LatencyStats s(3);
+  s.record(rec(0, 29, 2, 1, 0, 1));  // 20 cycles of queuing/blocking
+  EXPECT_DOUBLE_EQ(s.avg_breakdown().contention, 20.0);
+}
+
+TEST(LatencyStats, FlovHopsCountedSeparately) {
+  LatencyStats s(3);
+  // Two powered routers + 2 fly-over hops between them: router 6, links
+  // 3 mesh links + 2 NI = 5, flov 2.
+  s.record(rec(0, 13, 2, 3, 2, 1));
+  const auto b = s.avg_breakdown();
+  EXPECT_DOUBLE_EQ(b.flov, 2.0);
+  EXPECT_DOUBLE_EQ(b.router, 6.0);
+  EXPECT_DOUBLE_EQ(b.contention, 0.0);
+}
+
+TEST(LatencyStats, SerializationFromPacketSize) {
+  LatencyStats s(3);
+  s.record(rec(0, 12, 2, 1, 0, 4));
+  EXPECT_DOUBLE_EQ(s.avg_breakdown().serialization, 3.0);
+}
+
+TEST(LatencyStats, MeasureFromFiltersWarmup) {
+  LatencyStats s(3);
+  s.set_measure_from(1000);
+  s.record(rec(500, 600, 2, 1, 0, 1));   // warm-up packet: ignored
+  s.record(rec(1500, 1600, 2, 1, 0, 1)); // measured
+  EXPECT_EQ(s.packets(), 1u);
+}
+
+TEST(LatencyStats, EscapeCounted) {
+  LatencyStats s(3);
+  auto r = rec(0, 9, 2, 1, 0, 1);
+  r.used_escape = true;
+  s.record(r);
+  EXPECT_EQ(s.escape_packets(), 1u);
+}
+
+TEST(LatencyStats, TimelineBucketsByGeneration) {
+  LatencyStats s(3, /*timeline_window=*/100);
+  s.record(rec(10, 30, 2, 1, 0, 1));
+  s.record(rec(250, 300, 2, 1, 0, 1));
+  ASSERT_NE(s.timeline(), nullptr);
+  const auto pts = s.timeline()->points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].window_start, 0u);
+  EXPECT_EQ(pts[1].window_start, 200u);
+}
+
+TEST(LatencyStats, BreakdownComponentsSumToAverage) {
+  LatencyStats s(3);
+  s.record(rec(0, 50, 3, 2, 1, 4));
+  s.record(rec(10, 40, 2, 1, 0, 4));
+  const auto b = s.avg_breakdown();
+  EXPECT_NEAR(b.total(), s.avg_latency(), 1e-9);
+}
+
+}  // namespace
+}  // namespace flov

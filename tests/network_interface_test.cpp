@@ -1,0 +1,136 @@
+// Network-interface tests: injection flow control, stalls, purge, and
+// multi-VC stream interleaving.
+#include <gtest/gtest.h>
+
+#include "noc/network.hpp"
+#include "routing/yx_routing.hpp"
+
+namespace flov {
+namespace {
+
+struct Harness {
+  Harness()
+      : params(make_params()), geom(2, 2), routing(geom),
+        net(params, &routing, nullptr) {
+    net.set_eject_callback(
+        [this](const PacketRecord& r) { records.push_back(r); });
+  }
+
+  static NocParams make_params() {
+    NocParams p;
+    p.width = 2;
+    p.height = 2;
+    p.enable_escape_diversion = false;
+    return p;
+  }
+
+  void run(int cycles) {
+    for (int i = 0; i < cycles; ++i) net.step(now++);
+  }
+
+  NocParams params;
+  MeshGeometry geom;
+  YxRouting routing;
+  Network net;
+  Cycle now = 0;
+  std::vector<PacketRecord> records;
+};
+
+PacketDescriptor pkt(NodeId s, NodeId d, int size = 4, VnetId v = 0) {
+  PacketDescriptor p;
+  p.src = s;
+  p.dest = d;
+  p.size_flits = size;
+  p.vnet = v;
+  return p;
+}
+
+TEST(NetworkInterface, InjectsOneFlitPerCycle) {
+  Harness h;
+  h.net.enqueue(pkt(0, 1, 6));
+  h.run(3);
+  EXPECT_LE(h.net.ni(0).injected_flits(), 3u);
+  h.run(30);
+  EXPECT_EQ(h.net.ni(0).injected_flits(), 6u);
+}
+
+TEST(NetworkInterface, StallBlocksNewStreamsOnly) {
+  Harness h;
+  h.net.enqueue(pkt(0, 1, 6));
+  h.run(3);  // mid-stream
+  const auto sent_at_stall = h.net.ni(0).injected_flits();
+  ASSERT_GT(sent_at_stall, 0u);
+  h.net.ni(0).set_injection_stalled(true);
+  h.net.enqueue(pkt(0, 1, 4));  // must NOT start
+  h.run(40);
+  EXPECT_EQ(h.net.ni(0).injected_flits(), 6u);  // first stream completed
+  EXPECT_EQ(h.net.ni(0).queued_packets(), 1u);
+  h.net.ni(0).set_injection_stalled(false);
+  h.run(40);
+  EXPECT_EQ(h.net.ni(0).injected_flits(), 10u);
+  EXPECT_EQ(h.records.size(), 2u);
+}
+
+TEST(NetworkInterface, PurgeRemovesMatchingQueuedPackets) {
+  Harness h;
+  h.net.ni(0).set_injection_stalled(true);
+  h.net.enqueue(pkt(0, 1));
+  h.net.enqueue(pkt(0, 2));
+  h.net.enqueue(pkt(0, 3));
+  const auto removed = h.net.ni(0).purge_queue(
+      [](const PacketDescriptor& p) { return p.dest == 2; });
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(h.net.ni(0).queued_packets(), 2u);
+  h.net.ni(0).set_injection_stalled(false);
+  h.run(100);
+  EXPECT_EQ(h.records.size(), 2u);
+}
+
+TEST(NetworkInterface, ConcurrentStreamsOnDifferentVcsInterleave) {
+  Harness h;
+  // Three regular VCs available: three packets can stream concurrently.
+  h.net.enqueue(pkt(0, 1, 8));
+  h.net.enqueue(pkt(0, 2, 8));
+  h.net.enqueue(pkt(0, 3, 8));
+  h.run(4);
+  // More than one stream is active at once.
+  EXPECT_TRUE(h.net.ni(0).streams_active());
+  h.run(100);
+  EXPECT_EQ(h.records.size(), 3u);
+}
+
+TEST(NetworkInterface, IdleSemantics) {
+  Harness h;
+  EXPECT_TRUE(h.net.ni(0).idle());
+  h.net.enqueue(pkt(0, 1));
+  EXPECT_FALSE(h.net.ni(0).idle());
+  h.run(50);
+  EXPECT_TRUE(h.net.ni(0).idle());
+  EXPECT_TRUE(h.net.idle());
+}
+
+TEST(NetworkInterface, EjectionCountsFlitsAndPackets) {
+  Harness h;
+  h.net.enqueue(pkt(1, 0, 5));
+  h.run(50);
+  EXPECT_EQ(h.net.ni(0).ejected_flits(), 5u);
+  EXPECT_EQ(h.net.ni(0).ejected_packets(), 1u);
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].size_flits, 5);
+  EXPECT_EQ(h.records[0].src, 1);
+}
+
+TEST(NetworkInterface, RecordCarriesGenerationTime) {
+  Harness h;
+  auto p = pkt(0, 3);
+  p.gen_cycle = 0;
+  h.run(7);  // delay injection: queue later than generation
+  h.net.enqueue(p);
+  h.run(60);
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].gen_cycle, 0u);
+  EXPECT_GE(h.records[0].inject_cycle, 7u);
+}
+
+}  // namespace
+}  // namespace flov

@@ -1,0 +1,135 @@
+// Router mode-transition hygiene: the always-on invariant checks that
+// protect against protocol bugs (gating with live state, waking with
+// occupied latches), plus power-tracker integration of mode changes.
+#include <gtest/gtest.h>
+
+#include "noc/network.hpp"
+#include "power/power_tracker.hpp"
+#include "routing/yx_routing.hpp"
+
+namespace flov {
+namespace {
+
+struct Harness {
+  Harness()
+      : params(make_params()), geom(params.width, params.height),
+        routing(geom), power(geom, EnergyParams{}, true),
+        net(params, &routing, &power) {
+    net.set_eject_callback([this](const PacketRecord& r) {
+      records.push_back(r);
+    });
+  }
+  static NocParams make_params() {
+    NocParams p;
+    p.width = 3;
+    p.height = 3;
+    p.enable_escape_diversion = false;
+    return p;
+  }
+  void run(int cycles) {
+    for (int i = 0; i < cycles; ++i) net.step(now++);
+  }
+
+  NocParams params;
+  MeshGeometry geom;
+  YxRouting routing;
+  PowerTracker power;
+  Network net;
+  Cycle now = 0;
+  std::vector<PacketRecord> records;
+};
+
+TEST(RouterModes, GatingWithBufferedFlitsIsRejected) {
+  Harness h;
+  PacketDescriptor p;
+  p.src = 0;
+  p.dest = 2;
+  p.size_flits = 4;
+  h.net.enqueue(p);
+  h.run(7);  // head has reached router 1's input buffer
+  ASSERT_FALSE(h.net.router(1).input_buffers_empty());
+  EXPECT_THROW(h.net.router(1).set_mode(RouterMode::kBypass, h.now),
+               std::logic_error);
+}
+
+TEST(RouterModes, CleanRouterGatesAndWakes) {
+  Harness h;
+  h.run(5);
+  Router& r = h.net.router(4);  // center of the 3x3
+  r.set_mode(RouterMode::kBypass, h.now);
+  EXPECT_EQ(r.mode(), RouterMode::kBypass);
+  EXPECT_EQ(h.power.mode(4), RouterPowerMode::kFlovSleep);
+  h.run(5);
+  r.set_mode(RouterMode::kPipeline, h.now);
+  EXPECT_EQ(h.power.mode(4), RouterPowerMode::kOn);
+}
+
+TEST(RouterModes, GatingChargesTransitionEnergyOncePerPair) {
+  Harness h;
+  const auto n0 = h.power.event_count(EnergyEvent::kPgTransition);
+  h.net.router(4).set_mode(RouterMode::kBypass, h.now);
+  EXPECT_EQ(h.power.event_count(EnergyEvent::kPgTransition), n0 + 1);
+  h.net.router(4).set_mode(RouterMode::kPipeline, h.now);
+  EXPECT_EQ(h.power.event_count(EnergyEvent::kPgTransition), n0 + 1);
+  h.net.router(4).set_mode(RouterMode::kParked, h.now);
+  EXPECT_EQ(h.power.event_count(EnergyEvent::kPgTransition), n0 + 2);
+}
+
+TEST(RouterModes, BypassForwardsStraightThrough) {
+  // Manually gate the center router; traffic 3 -> 5 (same row through 4).
+  Harness h;
+  h.net.router(4).set_mode(RouterMode::kBypass, h.now);
+  // Ensure upstream credits point at router 5's buffers (handover normally
+  // does this; with empty buffers a full reset is equivalent).
+  h.net.router(3).reset_output_credits_full(Direction::East);
+  PacketDescriptor p;
+  p.src = 3;
+  p.dest = 5;
+  p.size_flits = 4;
+  p.gen_cycle = h.now;
+  h.net.enqueue(p);
+  h.run(40);
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].flov_hops, 1);
+  EXPECT_EQ(h.records[0].router_hops, 2);
+}
+
+TEST(RouterModes, ParkedRouterClearsStaleCredits) {
+  Harness h;
+  h.run(2);
+  Router& r = h.net.router(4);
+  r.set_mode(RouterMode::kParked, h.now);
+  h.run(5);  // step asserts nothing arrives and voids stale credits
+  EXPECT_EQ(r.mode(), RouterMode::kParked);
+}
+
+TEST(RouterModes, WakeResetsOutputAllocationState) {
+  Harness h;
+  Router& r = h.net.router(4);
+  r.set_mode(RouterMode::kBypass, h.now);
+  h.run(2);
+  r.set_mode(RouterMode::kPipeline, h.now);
+  for (Direction d : kMeshDirections) {
+    for (const auto& ovc : r.output_port(d).vcs) {
+      EXPECT_FALSE(ovc.allocated);
+      EXPECT_EQ(ovc.credits, h.params.buffer_depth);
+    }
+  }
+}
+
+TEST(RouterModes, DumpOccupancyIsSafeOnBusyRouter) {
+  Harness h;
+  PacketDescriptor p;
+  p.src = 0;
+  p.dest = 8;
+  p.size_flits = 6;
+  h.net.enqueue(p);
+  h.run(6);
+  // Smoke: must not crash or mutate.
+  h.net.router(4).dump_occupancy(h.now);
+  h.run(100);
+  EXPECT_EQ(h.records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace flov

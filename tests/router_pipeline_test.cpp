@@ -1,0 +1,229 @@
+// Router micro-architecture timing and flow-control tests, run on small
+// baseline meshes (pipeline: RC -> VA+SA -> ST, one cycle each, 1-cycle
+// links; Table I: 3-cycle router).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "noc/network.hpp"
+#include "routing/yx_routing.hpp"
+
+namespace flov {
+namespace {
+
+struct Harness {
+  explicit Harness(NocParams p)
+      : params(p), geom(p.width, p.height), routing(geom),
+        net(p, &routing, nullptr) {
+    net.set_eject_callback([this](const PacketRecord& r) {
+      records.push_back(r);
+    });
+  }
+
+  void run(Cycle cycles) {
+    for (Cycle c = 0; c < cycles; ++c) net.step(now++);
+  }
+
+  NocParams params;
+  MeshGeometry geom;
+  YxRouting routing;
+  Network net;
+  Cycle now = 0;
+  std::vector<PacketRecord> records;
+};
+
+NocParams small_params() {
+  NocParams p;
+  p.width = 4;
+  p.height = 4;
+  p.num_vnets = 1;
+  p.vcs_per_vnet = 4;
+  p.escape_vc = 3;
+  p.buffer_depth = 6;
+  p.enable_escape_diversion = false;
+  return p;
+}
+
+PacketDescriptor pkt(NodeId s, NodeId d, int size, Cycle gen) {
+  PacketDescriptor p;
+  p.src = s;
+  p.dest = d;
+  p.size_flits = size;
+  p.gen_cycle = gen;
+  return p;
+}
+
+TEST(RouterPipeline, SingleFlitSingleHopLatency) {
+  Harness h(small_params());
+  // Node 0 -> node 1: adjacent. Timeline for the head flit:
+  //   t0: NI sends into local port (1-cycle channel)
+  //   t1: buffer write at router 0; t2 RC; t3 VA+SA; t4 ST -> link
+  //   t5: buffer write at router 1; t6 RC; t7 VA+SA; t8 ST -> eject link
+  //   t9: NI consumes.
+  h.net.enqueue(pkt(0, 1, 1, 0));
+  h.run(20);
+  ASSERT_EQ(h.records.size(), 1u);
+  const auto& r = h.records[0];
+  EXPECT_EQ(r.eject_cycle - r.gen_cycle, 9u);
+  EXPECT_EQ(r.router_hops, 2);  // both routers' pipelines
+  EXPECT_EQ(r.link_hops, 1);    // one mesh link
+  EXPECT_EQ(r.flov_hops, 0);
+}
+
+TEST(RouterPipeline, PerHopCostIsFourCycles) {
+  // Each extra hop adds 3 pipeline cycles + 1 link cycle.
+  std::map<int, Cycle> latency_by_hops;
+  for (NodeId dest : {1, 2, 3}) {
+    Harness h(small_params());
+    h.net.enqueue(pkt(0, dest, 1, 0));
+    h.run(30);
+    ASSERT_EQ(h.records.size(), 1u);
+    latency_by_hops[h.geom.hops(0, dest)] = h.records[0].total_latency();
+  }
+  EXPECT_EQ(latency_by_hops[2] - latency_by_hops[1], 4u);
+  EXPECT_EQ(latency_by_hops[3] - latency_by_hops[2], 4u);
+}
+
+TEST(RouterPipeline, SerializationAddsOneCyclePerExtraFlit) {
+  std::map<int, Cycle> latency_by_size;
+  for (int size : {1, 2, 4, 6}) {
+    Harness h(small_params());
+    h.net.enqueue(pkt(0, 5, size, 0));
+    h.run(40);
+    ASSERT_EQ(h.records.size(), 1u);
+    latency_by_size[size] = h.records[0].total_latency();
+  }
+  EXPECT_EQ(latency_by_size[2] - latency_by_size[1], 1u);
+  EXPECT_EQ(latency_by_size[4] - latency_by_size[1], 3u);
+  EXPECT_EQ(latency_by_size[6] - latency_by_size[1], 5u);
+}
+
+TEST(RouterPipeline, PacketLargerThanBufferStreams) {
+  // Wormhole: a 10-flit packet flows through 6-deep buffers.
+  Harness h(small_params());
+  h.net.enqueue(pkt(0, 3, 10, 0));
+  h.run(60);
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.net.total_injected_flits(), 10u);
+  EXPECT_EQ(h.net.total_ejected_flits(), 10u);
+}
+
+TEST(RouterPipeline, BackToBackPacketsPipeline) {
+  // Two packets along the same path: the second should not pay the full
+  // latency again (pipelining), and both arrive intact.
+  Harness h(small_params());
+  h.net.enqueue(pkt(0, 3, 4, 0));
+  h.net.enqueue(pkt(0, 3, 4, 0));
+  h.run(60);
+  ASSERT_EQ(h.records.size(), 2u);
+  const Cycle l0 = h.records[0].total_latency();
+  const Cycle l1 = h.records[1].total_latency();
+  EXPECT_LT(l1, l0 + 8);  // far less than a full second traversal
+}
+
+TEST(RouterPipeline, ManyPacketsConserveFlits) {
+  Harness h(small_params());
+  int expected_flits = 0;
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      h.net.enqueue(pkt(s, d, 4, 0));
+      expected_flits += 4;
+    }
+  }
+  h.run(3000);
+  EXPECT_TRUE(h.net.idle());
+  EXPECT_EQ(h.records.size(), 240u);
+  EXPECT_EQ(h.net.total_injected_flits(),
+            static_cast<std::uint64_t>(expected_flits));
+  EXPECT_EQ(h.net.total_ejected_flits(),
+            static_cast<std::uint64_t>(expected_flits));
+}
+
+TEST(RouterPipeline, CreditBackpressureNeverOverflows) {
+  // Saturate one destination from many sources; buffer-overflow asserts
+  // inside the router would fire if credits were wrong.
+  Harness h(small_params());
+  for (int round = 0; round < 20; ++round) {
+    for (NodeId s = 1; s < 16; ++s) h.net.enqueue(pkt(s, 0, 4, 0));
+  }
+  h.run(8000);
+  EXPECT_TRUE(h.net.idle());
+  EXPECT_EQ(h.records.size(), 20u * 15u);
+}
+
+TEST(RouterPipeline, FlitOrderWithinPacketPreserved) {
+  // Intercept at the NI: record.size_flits count arrived since the NI
+  // checks head/tail pairing internally; additionally ensure per-packet
+  // payload integrity survived heavy interleaving.
+  Harness h(small_params());
+  for (int i = 0; i < 50; ++i) {
+    auto p = pkt(0, 15, 4, 0);
+    p.payload = 1000 + i;
+    h.net.enqueue(p);
+  }
+  h.run(3000);
+  ASSERT_EQ(h.records.size(), 50u);
+  std::set<std::uint64_t> seen;
+  for (const auto& r : h.records) {
+    EXPECT_EQ(r.size_flits, 4);
+    seen.insert(r.payload);
+  }
+  EXPECT_EQ(seen.size(), 50u);  // every packet completed exactly once
+}
+
+TEST(RouterPipeline, SelfAddressedPacketRoundTripsThroughLocalPort) {
+  Harness h(small_params());
+  h.net.enqueue(pkt(5, 5, 2, 0));
+  h.run(20);
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].link_hops, 0);
+  EXPECT_EQ(h.records[0].router_hops, 1);
+}
+
+TEST(RouterPipeline, VnetsIsolateVcClasses) {
+  NocParams p = small_params();
+  p.num_vnets = 3;
+  Harness h(p);
+  for (VnetId v = 0; v < 3; ++v) {
+    auto d = pkt(0, 15, 4, 0);
+    d.vnet = v;
+    h.net.enqueue(d);
+  }
+  h.run(200);
+  ASSERT_EQ(h.records.size(), 3u);
+  std::set<VnetId> vnets;
+  for (const auto& r : h.records) vnets.insert(r.vnet);
+  EXPECT_EQ(vnets.size(), 3u);
+}
+
+class MeshSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshSizes, AllToAllDelivery) {
+  NocParams p = small_params();
+  p.width = GetParam().first;
+  p.height = GetParam().second;
+  Harness h(p);
+  const int n = p.width * p.height;
+  int count = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    const NodeId d = (s + n / 2 + 1) % n;
+    if (d == s) continue;
+    h.net.enqueue(pkt(s, d, 4, 0));
+    ++count;
+  }
+  h.run(2000);
+  EXPECT_TRUE(h.net.idle());
+  EXPECT_EQ(static_cast<int>(h.records.size()), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MeshSizes,
+    ::testing::Values(std::pair<int, int>{2, 2}, std::pair<int, int>{3, 3},
+                      std::pair<int, int>{4, 4}, std::pair<int, int>{8, 8},
+                      std::pair<int, int>{4, 8}, std::pair<int, int>{8, 4},
+                      std::pair<int, int>{2, 8}));
+
+}  // namespace
+}  // namespace flov

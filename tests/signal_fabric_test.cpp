@@ -1,0 +1,141 @@
+// SignalFabric tests: per-hop timing, absorption, relay, edge behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "flov/signal_fabric.hpp"
+
+namespace flov {
+namespace {
+
+struct Fixture {
+  Fixture() : geom(4, 4), fabric(geom, nullptr) {
+    fabric.set_handler([this](NodeId at, const HsMessage& m) {
+      log.push_back({at, m, now});
+      return absorb_at.count(at) != 0;
+    });
+  }
+
+  void run(int cycles) {
+    for (int i = 0; i < cycles; ++i) {
+      fabric.step(now);
+      ++now;
+    }
+  }
+
+  HsMessage msg(NodeId from, Direction travel, NodeId target = kInvalidNode) {
+    HsMessage m;
+    m.type = HsType::kDrainReq;
+    m.from = from;
+    m.travel = travel;
+    m.target = target;
+    return m;
+  }
+
+  struct Entry {
+    NodeId at;
+    HsMessage m;
+    Cycle when;
+  };
+
+  MeshGeometry geom;
+  SignalFabric fabric;
+  std::map<NodeId, bool> absorb_at;
+  std::vector<Entry> log;
+  Cycle now = 0;
+};
+
+TEST(SignalFabric, OneCyclePerHop) {
+  Fixture f;
+  f.absorb_at[7] = true;  // absorb at distance 3
+  f.fabric.send(0, f.msg(4, Direction::East));
+  f.run(10);
+  ASSERT_EQ(f.log.size(), 3u);  // 5, 6, 7
+  EXPECT_EQ(f.log[0].at, 5);
+  EXPECT_EQ(f.log[0].when, 1u);
+  EXPECT_EQ(f.log[1].at, 6);
+  EXPECT_EQ(f.log[1].when, 2u);
+  EXPECT_EQ(f.log[2].at, 7);
+  EXPECT_EQ(f.log[2].when, 3u);
+}
+
+TEST(SignalFabric, AbsorptionStopsPropagation) {
+  Fixture f;
+  f.absorb_at[5] = true;
+  f.fabric.send(0, f.msg(4, Direction::East));
+  f.run(10);
+  ASSERT_EQ(f.log.size(), 1u);
+  EXPECT_EQ(f.log[0].at, 5);
+  EXPECT_TRUE(f.fabric.idle());
+}
+
+TEST(SignalFabric, SignalDiesAtMeshEdge) {
+  Fixture f;  // nobody absorbs
+  f.fabric.send(0, f.msg(4, Direction::East));
+  f.run(10);
+  EXPECT_EQ(f.log.size(), 3u);  // 5, 6, 7, then off the edge
+  EXPECT_TRUE(f.fabric.idle());
+}
+
+TEST(SignalFabric, SendOffEdgeIsNoOp) {
+  Fixture f;
+  f.fabric.send(0, f.msg(4, Direction::West));  // node 4 is at x=0
+  f.run(5);
+  EXPECT_TRUE(f.log.empty());
+  EXPECT_TRUE(f.fabric.idle());
+}
+
+TEST(SignalFabric, VerticalTravel) {
+  Fixture f;
+  f.absorb_at[13] = true;
+  f.fabric.send(0, f.msg(1, Direction::South));
+  f.run(10);
+  ASSERT_EQ(f.log.size(), 3u);  // 5, 9, 13
+  EXPECT_EQ(f.log.back().at, 13);
+  EXPECT_EQ(f.log.back().when, 3u);
+}
+
+TEST(SignalFabric, MultipleInFlightKeepTheirTimings) {
+  Fixture f;
+  f.absorb_at[6] = true;
+  f.absorb_at[10] = true;
+  f.fabric.send(0, f.msg(4, Direction::East));
+  f.fabric.send(1, f.msg(8, Direction::East));
+  f.run(10);
+  ASSERT_EQ(f.log.size(), 4u);  // 5@1, {6,9}@2 in either order, 10@3
+  std::map<NodeId, Cycle> when;
+  for (const auto& e : f.log) when[e.at] = e.when;
+  EXPECT_EQ(when[5], 1u);
+  EXPECT_EQ(when[6], 2u);
+  EXPECT_EQ(when[9], 2u);
+  EXPECT_EQ(when[10], 3u);
+}
+
+TEST(SignalFabric, MessagePayloadPreservedAcrossRelay) {
+  Fixture f;
+  f.absorb_at[7] = true;
+  HsMessage m = f.msg(4, Direction::East, /*target=*/7);
+  m.type = HsType::kSleepNotify;
+  m.logical_beyond = 42;
+  f.fabric.send(0, m);
+  f.run(10);
+  ASSERT_FALSE(f.log.empty());
+  EXPECT_EQ(f.log.back().m.logical_beyond, 42);
+  EXPECT_EQ(f.log.back().m.type, HsType::kSleepNotify);
+  EXPECT_EQ(f.log.back().m.from, 4);
+}
+
+TEST(SignalFabric, ForwardedCopyNotDeliveredSameCycle) {
+  Fixture f;
+  // A relay at node 5 must reach node 6 one cycle later, never same-cycle.
+  f.absorb_at[7] = true;
+  f.fabric.send(0, f.msg(4, Direction::East));
+  f.run(2);  // cycles 0,1: delivered at 5 only
+  ASSERT_EQ(f.log.size(), 1u);
+  f.run(1);
+  EXPECT_EQ(f.log.size(), 2u);
+}
+
+}  // namespace
+}  // namespace flov

@@ -1,0 +1,160 @@
+// Tests for the up*/down* route computation used by Router Parking.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "routing/updown.hpp"
+
+namespace flov {
+namespace {
+
+std::vector<bool> all_on(int n) { return std::vector<bool>(n, true); }
+
+TEST(UpDown, FullMeshAllReachable) {
+  MeshGeometry g(4, 4);
+  UpDownRoutes r(g, all_on(16));
+  EXPECT_TRUE(r.all_powered_connected());
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      EXPECT_TRUE(r.reachable(a, b)) << a << "->" << b;
+    }
+  }
+}
+
+TEST(UpDown, RootIsSmallestPoweredId) {
+  MeshGeometry g(4, 4);
+  std::vector<bool> p = all_on(16);
+  p[0] = p[1] = false;
+  UpDownRoutes r(g, p);
+  EXPECT_EQ(r.root(), 2);
+  EXPECT_EQ(r.bfs_level(2), 0);
+}
+
+TEST(UpDown, PathWalkReachesDestination) {
+  MeshGeometry g(4, 4);
+  UpDownRoutes r(g, all_on(16));
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      NodeId cur = a;
+      bool phase = false;
+      int steps = 0;
+      while (cur != b) {
+        auto hop = r.next_hop(cur, b, phase);
+        ASSERT_TRUE(hop.has_value());
+        cur = g.neighbor(cur, hop->dir);
+        phase = hop->went_down_after;
+        ASSERT_LE(++steps, 32);
+      }
+      EXPECT_EQ(steps, r.path_len(a, b));
+    }
+  }
+}
+
+TEST(UpDown, LegalityNoUpAfterDown) {
+  MeshGeometry g(4, 4);
+  std::vector<bool> p = all_on(16);
+  p[5] = p[10] = false;
+  UpDownRoutes r(g, p);
+  for (NodeId a = 0; a < 16; ++a) {
+    if (!p[a]) continue;
+    for (NodeId b = 0; b < 16; ++b) {
+      if (!p[b] || a == b) continue;
+      NodeId cur = a;
+      bool phase = false;
+      int steps = 0;
+      while (cur != b) {
+        auto hop = r.next_hop(cur, b, phase);
+        ASSERT_TRUE(hop.has_value()) << a << "->" << b;
+        // Once the phase bit is set, up links are forbidden.
+        if (phase) ASSERT_FALSE(r.is_up_link(cur, hop->dir));
+        cur = g.neighbor(cur, hop->dir);
+        phase = hop->went_down_after;
+        ASSERT_LE(++steps, 64);
+      }
+    }
+  }
+}
+
+TEST(UpDown, PhaseBitMonotone) {
+  MeshGeometry g(4, 4);
+  UpDownRoutes r(g, all_on(16));
+  for (NodeId a = 0; a < 16; ++a) {
+    for (Direction d : kMeshDirections) {
+      if (g.neighbor(a, d) == kInvalidNode) continue;
+      // From phase=true, any legal hop keeps phase=true.
+      auto hop = r.next_hop(a, g.neighbor(a, d), true);
+      if (hop.has_value()) EXPECT_TRUE(hop->went_down_after);
+    }
+  }
+}
+
+TEST(UpDown, FullMeshPathsAreMinimalFromRootNeighborhood) {
+  // On a fully powered mesh, up*/down* from the root reaches everything at
+  // Manhattan distance (the BFS tree radiates from it).
+  MeshGeometry g(4, 4);
+  UpDownRoutes r(g, all_on(16));
+  for (NodeId b = 1; b < 16; ++b) {
+    EXPECT_EQ(r.path_len(0, b), g.hops(0, b));
+  }
+}
+
+TEST(UpDown, UnpoweredNodesUnreachable) {
+  MeshGeometry g(4, 4);
+  std::vector<bool> p = all_on(16);
+  p[6] = false;
+  UpDownRoutes r(g, p);
+  EXPECT_FALSE(r.reachable(0, 6));
+  EXPECT_FALSE(r.reachable(6, 0));
+  EXPECT_EQ(r.path_len(0, 6), -1);
+}
+
+TEST(UpDown, DisconnectedComponentDetected) {
+  // Power off a full column cut: {1, 5, 9, 13} on a 4x4 disconnects
+  // column 0 from columns 2-3.
+  MeshGeometry g(4, 4);
+  std::vector<bool> p = all_on(16);
+  for (NodeId n : {1, 5, 9, 13}) p[n] = false;
+  UpDownRoutes r(g, p);
+  EXPECT_FALSE(r.all_powered_connected());
+  EXPECT_FALSE(r.reachable(0, 2));
+  // Routes exist only inside the root's component (the FM rejects
+  // disconnected parked sets before they are ever installed).
+  EXPECT_FALSE(r.reachable(2, 3));
+  EXPECT_TRUE(r.reachable(0, 4));
+}
+
+class UpDownRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpDownRandom, RandomSubgraphsRouteWithinComponent) {
+  MeshGeometry g(6, 6);
+  Rng rng(GetParam());
+  std::vector<bool> p(36, true);
+  for (int i = 0; i < 36; ++i) p[i] = !rng.next_bool(0.3);
+  // Ensure at least one powered node.
+  p[0] = true;
+  UpDownRoutes r(g, p);
+  for (NodeId a = 0; a < 36; ++a) {
+    for (NodeId b = 0; b < 36; ++b) {
+      if (!p[a] || !p[b] || a == b) continue;
+      if (!r.reachable(a, b)) continue;
+      NodeId cur = a;
+      bool phase = false;
+      int steps = 0;
+      while (cur != b) {
+        auto hop = r.next_hop(cur, b, phase);
+        ASSERT_TRUE(hop.has_value());
+        if (phase) ASSERT_FALSE(r.is_up_link(cur, hop->dir));
+        cur = g.neighbor(cur, hop->dir);
+        ASSERT_TRUE(p[cur]);  // never routes through an unpowered node
+        phase = hop->went_down_after;
+        ASSERT_LE(++steps, 72);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpDownRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace flov
