@@ -1,0 +1,86 @@
+// Robustness sweep: FLOV schemes under an increasingly lossy control
+// fabric. For each scheme x signal-drop-rate cell the fabric runs gating
+// churn (epoch re-draws) with the recovery knobs enabled and the invariant
+// verifier in counting mode; the table shows what the faults cost
+// (latency, handshake retries) and that correctness held (violations,
+// watchdog escalations).
+//
+//   bench_fault_sweep [measure=30000] [width=8] [seed=3] [csv=out.csv]
+#include "bench_util.hpp"
+
+namespace {
+
+void run_sweep(flov::SyntheticExperimentConfig ex, flov::bench::CsvSink* csv) {
+  using namespace flov;
+  using namespace flov::bench;
+
+  // Recovery hardening (off by default for paper fidelity).
+  ex.noc.hs_retry_timeout = 32;
+  ex.noc.hs_retry_limit = 16;
+  ex.noc.trigger_retry_timeout = 64;
+  ex.noc.sleep_reannounce_interval = 128;
+  ex.noc.psr_block_timeout = 192;
+  ex.verifier.fatal = false;  // count violations, report them in the table
+  ex.verifier.settle_window = 512;
+  ex.pattern = "uniform";
+  ex.inj_rate_flits = 0.05;
+  ex.gated_fraction = 0.4;
+  // Gating churn: re-draw the gated set three times mid-run.
+  const Cycle total = ex.warmup + ex.measure;
+  ex.gating_changes = {total / 4, total / 2, (3 * total) / 4};
+
+  const double drop_rates[] = {0.0, 0.001, 0.01, 0.05};
+
+  print_header("Fault sweep — signal loss vs. FLOV recovery (uniform, "
+               "40% gated, churn)");
+  std::printf("%-8s %-10s %10s %10s %10s %10s %10s %10s\n", "scheme",
+              "drop_rate", "latency", "hs_resend", "trig_rsnd", "recover",
+              "violation", "delivered");
+  for (Scheme s : {Scheme::kRFlov, Scheme::kGFlov}) {
+    for (double rate : drop_rates) {
+      ex.scheme = s;
+      ex.faults = FaultParams{};
+      if (rate > 0.0) {
+        ex.faults.signal_drop_rate = rate;
+        ex.faults.signal_delay_rate = rate;
+        ex.faults.signal_dup_rate = rate / 2;
+        ex.faults.seed = ex.seed;
+      }
+      const RunResult r = run_synthetic(ex);
+      std::printf("%-8s %-10.3f %10.2f %10llu %10llu %10llu %10llu %10llu\n",
+                  r.scheme.c_str(), rate, r.avg_latency,
+                  static_cast<unsigned long long>(r.hs_resends),
+                  static_cast<unsigned long long>(r.trigger_resends),
+                  static_cast<unsigned long long>(r.watchdog_recoveries),
+                  static_cast<unsigned long long>(r.verifier_violations),
+                  static_cast<unsigned long long>(r.packets_measured));
+      if (csv) {
+        csv->row("fault_sweep,%s,%.4f,%.4f,%llu,%llu,%llu,%llu,%llu",
+                 r.scheme.c_str(), rate, r.avg_latency,
+                 static_cast<unsigned long long>(r.hs_resends),
+                 static_cast<unsigned long long>(r.trigger_resends),
+                 static_cast<unsigned long long>(r.watchdog_recoveries),
+                 static_cast<unsigned long long>(r.verifier_violations),
+                 static_cast<unsigned long long>(r.packets_measured));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flov::SyntheticExperimentConfig ex =
+      flov::bench::synthetic_from_args(argc, argv);
+  ex.warmup = 5000;
+  ex.measure = 25000;
+  flov::Config cfg;
+  cfg.parse_args(argc, argv);
+  ex.measure = cfg.get_int("measure", ex.measure);
+  flov::bench::CsvSink csv(
+      argc, argv,
+      "figure,scheme,drop_rate,latency,hs_resends,trigger_resends,"
+      "recoveries,violations,packets");
+  run_sweep(ex, &csv);
+  return 0;
+}

@@ -7,10 +7,12 @@
 //                noc.width=16 noc.height=16 warmup=5000 cycles=50000 \
 //                timeline=1000 seed=3
 //
-// Any NocParams ("noc.*") or EnergyParams ("energy.*") key is accepted.
+// Any NocParams ("noc.*"), EnergyParams ("energy.*"), FaultParams
+// ("fault.*") or VerifierOptions ("verify.*") key is accepted.
 #include <cstdio>
 
 #include "common/config.hpp"
+#include "fault/fault_model.hpp"
 #include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
@@ -29,6 +31,9 @@ int main(int argc, char** argv) {
   ex.measure = cfg.get_int("cycles", 90000);
   ex.seed = cfg.get_int("seed", 1);
   ex.timeline_window = cfg.get_int("timeline", 0);
+  ex.faults = FaultParams::from_config(cfg);
+  ex.verifier = VerifierOptions::from_config(cfg);
+  ex.verify = cfg.get_bool("verify", ex.verify);
   if (cfg.has("changes")) {
     // comma-separated gating change points, e.g. changes=50000,60000
     const std::string s = cfg.get_string("changes");
@@ -78,6 +83,21 @@ int main(int argc, char** argv) {
   if (r.escape_packets) {
     std::printf("escape-network packets: %llu\n",
                 static_cast<unsigned long long>(r.escape_packets));
+  }
+  if (ex.faults.any()) {
+    std::printf("fault recovery        : %llu hs resends, %llu trigger "
+                "re-fires, %llu watchdog recoveries, %llu self-captures, "
+                "%llu flits dropped\n",
+                static_cast<unsigned long long>(r.hs_resends),
+                static_cast<unsigned long long>(r.trigger_resends),
+                static_cast<unsigned long long>(r.watchdog_recoveries),
+                static_cast<unsigned long long>(r.self_captures),
+                static_cast<unsigned long long>(r.flits_dropped_by_faults));
+  }
+  if (ex.verify) {
+    std::printf("invariant verifier    : %llu checks, %llu violations\n",
+                static_cast<unsigned long long>(r.verifier_checks),
+                static_cast<unsigned long long>(r.verifier_violations));
   }
   if (!r.timeline.empty()) {
     std::printf("\nlatency timeline (window %llu):\n",

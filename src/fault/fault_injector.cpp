@@ -1,0 +1,78 @@
+#include "fault/fault_injector.hpp"
+
+#include "common/log.hpp"
+#include "flov/handshake_signals.hpp"
+
+namespace flov {
+
+FaultInjector::FaultInjector(const FaultParams& params, int num_nodes)
+    : params_(params),
+      num_nodes_(num_nodes),
+      signal_rng_(params.seed * 0x9E3779B97F4A7C15ull + 1),
+      flit_rng_(params.seed * 0xBF58476D1CE4E5B9ull + 2),
+      spurious_rng_(params.seed * 0x94D049BB133111EBull + 3) {
+  FLOV_CHECK(num_nodes_ > 0, "fault injector needs a non-empty mesh");
+  FLOV_CHECK(params_.signal_delay_max >= 1 && params_.flit_delay_max >= 1,
+             "fault delay maxima must be >= 1 cycle");
+}
+
+bool FaultInjector::drop_signal(const HsMessage& msg) {
+  (void)msg;
+  if (params_.signal_drop_rate <= 0.0) return false;
+  if (!signal_rng_.next_bool(params_.signal_drop_rate)) return false;
+  counters_.signals_dropped++;
+  return true;
+}
+
+Cycle FaultInjector::signal_extra_delay() {
+  if (params_.signal_delay_rate <= 0.0) return 0;
+  if (!signal_rng_.next_bool(params_.signal_delay_rate)) return 0;
+  counters_.signals_delayed++;
+  return 1 + signal_rng_.next_below(params_.signal_delay_max);
+}
+
+bool FaultInjector::duplicate_signal(const HsMessage& msg) {
+  (void)msg;
+  if (params_.signal_dup_rate <= 0.0) return false;
+  if (!signal_rng_.next_bool(params_.signal_dup_rate)) return false;
+  counters_.signals_duplicated++;
+  return true;
+}
+
+std::optional<Cycle> FaultInjector::flit_fate(const Flit& f) {
+  // Drops are packet-coherent: the drop roll happens on head flits only,
+  // and the rest of the worm is then swallowed at the same link (flits of
+  // one packet all traverse it, in order). A mid-packet hole would wedge
+  // wormhole VC state machines — a headless body has no route, a tail-less
+  // worm never frees its VC — which is router corruption, not a wire fault.
+  if (params_.flit_drop_rate > 0.0) {
+    if (dropped_packets_.count(f.packet_id) != 0) {
+      counters_.flits_dropped++;
+      return std::nullopt;
+    }
+    if (f.head && flit_rng_.next_bool(params_.flit_drop_rate)) {
+      counters_.flits_dropped++;
+      dropped_packets_.insert(f.packet_id);
+      return std::nullopt;
+    }
+  }
+  if (params_.flit_delay_rate > 0.0 &&
+      flit_rng_.next_bool(params_.flit_delay_rate)) {
+    counters_.flits_delayed++;
+    return 1 + flit_rng_.next_below(params_.flit_delay_max);
+  }
+  return Cycle{0};
+}
+
+NodeId FaultInjector::spurious_wakeup_target(Cycle now) {
+  (void)now;
+  if (params_.spurious_wakeup_rate <= 0.0) return kInvalidNode;
+  if (!spurious_rng_.next_bool(params_.spurious_wakeup_rate)) {
+    return kInvalidNode;
+  }
+  counters_.spurious_wakeups++;
+  return static_cast<NodeId>(
+      spurious_rng_.next_below(static_cast<std::uint64_t>(num_nodes_)));
+}
+
+}  // namespace flov

@@ -1,0 +1,68 @@
+// Deterministic fault injector (see fault_model.hpp for the model).
+//
+// One instance per system, shared by the SignalFabric (signal fates) and
+// the inter-router flit channels (flit fates, via Channel fault hooks).
+// Distinct RNG substreams per fault class keep each class's decision
+// sequence independent of how often the other classes are consulted.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/flit.hpp"
+
+namespace flov {
+
+struct HsMessage;
+
+class FaultInjector {
+ public:
+  struct Counters {
+    std::uint64_t signals_dropped = 0;
+    std::uint64_t signals_delayed = 0;
+    std::uint64_t signals_duplicated = 0;
+    std::uint64_t flits_dropped = 0;
+    std::uint64_t flits_delayed = 0;
+    std::uint64_t spurious_wakeups = 0;
+  };
+
+  FaultInjector(const FaultParams& params, int num_nodes);
+
+  const FaultParams& params() const { return params_; }
+  const Counters& counters() const { return counters_; }
+
+  // --- signal fates (one decision per hop) ---
+  bool drop_signal(const HsMessage& msg);
+  /// Extra delivery delay for this hop (0 = on time).
+  Cycle signal_extra_delay();
+  bool duplicate_signal(const HsMessage& msg);
+
+  /// Flit fate for one link traversal: nullopt = dropped on the wire,
+  /// otherwise the extra delay in cycles (usually 0).
+  std::optional<Cycle> flit_fate(const Flit& f);
+
+  /// Spurious wakeup roll for this cycle; kInvalidNode when none fires.
+  NodeId spurious_wakeup_target(Cycle now);
+
+  /// Packets that lost at least one flit to a drop fault (the verifier
+  /// exempts them from exact conservation).
+  bool packet_faulted(std::uint64_t packet_id) const {
+    return dropped_packets_.count(packet_id) != 0;
+  }
+  std::uint64_t dropped_flits() const { return counters_.flits_dropped; }
+
+ private:
+  FaultParams params_;
+  int num_nodes_;
+  Rng signal_rng_;
+  Rng flit_rng_;
+  Rng spurious_rng_;
+  Counters counters_;
+  std::unordered_set<std::uint64_t> dropped_packets_;
+};
+
+}  // namespace flov

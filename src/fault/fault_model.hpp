@@ -1,0 +1,67 @@
+// Fault model for the FLOV control and data planes.
+//
+// The paper assumes perfectly reliable out-of-band handshake wires and
+// links. This module relaxes that: every handshake-signal hop and every
+// inter-router flit traversal can independently be dropped, delayed or
+// (signals only) duplicated, and spurious WakeupTriggers can fire — all
+// driven by a seeded deterministic RNG so any failing run replays exactly.
+// Rates are per-event probabilities; everything defaults to 0 (disabled),
+// and a disabled model installs no hooks at all (zero cost on hot paths).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace flov {
+
+struct FaultParams {
+  // --- handshake-signal faults, applied per hop ---
+  double signal_drop_rate = 0.0;
+  double signal_delay_rate = 0.0;
+  Cycle signal_delay_max = 4;  ///< extra cycles, uniform in [1, max]
+  double signal_dup_rate = 0.0;
+
+  // --- data-plane faults, applied per link traversal ---
+  /// Flit loss is diagnostic-only: there is no retransmission layer, so a
+  /// dropped flit loses its packet (the verifier exempts it from the
+  /// conservation check instead of flagging a violation).
+  double flit_drop_rate = 0.0;
+  double flit_delay_rate = 0.0;
+  Cycle flit_delay_max = 4;
+
+  /// Per-cycle probability of a spurious WakeupTrigger at a random router.
+  double spurious_wakeup_rate = 0.0;
+
+  std::uint64_t seed = 1;
+
+  bool any() const {
+    return signal_drop_rate > 0.0 || signal_delay_rate > 0.0 ||
+           signal_dup_rate > 0.0 || flit_drop_rate > 0.0 ||
+           flit_delay_rate > 0.0 || spurious_wakeup_rate > 0.0;
+  }
+
+  static FaultParams from_config(const Config& cfg) {
+    FaultParams p;
+    p.signal_drop_rate =
+        cfg.get_double("fault.signal_drop_rate", p.signal_drop_rate);
+    p.signal_delay_rate =
+        cfg.get_double("fault.signal_delay_rate", p.signal_delay_rate);
+    p.signal_delay_max =
+        cfg.get_int("fault.signal_delay_max", p.signal_delay_max);
+    p.signal_dup_rate =
+        cfg.get_double("fault.signal_dup_rate", p.signal_dup_rate);
+    p.flit_drop_rate =
+        cfg.get_double("fault.flit_drop_rate", p.flit_drop_rate);
+    p.flit_delay_rate =
+        cfg.get_double("fault.flit_delay_rate", p.flit_delay_rate);
+    p.flit_delay_max = cfg.get_int("fault.flit_delay_max", p.flit_delay_max);
+    p.spurious_wakeup_rate =
+        cfg.get_double("fault.spurious_wakeup_rate", p.spurious_wakeup_rate);
+    p.seed = static_cast<std::uint64_t>(cfg.get_int("fault.seed", 1));
+    return p;
+  }
+};
+
+}  // namespace flov

@@ -9,7 +9,7 @@
 namespace flov {
 
 FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
-                         const EnergyParams& energy)
+                         const EnergyParams& energy, const FaultParams& faults)
     : params_(params),
       mode_(mode),
       geom_(params.width, params.height),
@@ -22,6 +22,7 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
     return hscs_[at]->on_signal(m, current_cycle_);
   });
   trigger_sent_.assign(net_->num_nodes(), false);
+  trigger_sent_at_.assign(net_->num_nodes(), 0);
   hscs_.reserve(net_->num_nodes());
   for (NodeId id = 0; id < net_->num_nodes(); ++id) {
     hscs_.push_back(std::make_unique<HandshakeController>(
@@ -30,6 +31,21 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
       request_wakeup(id, target, current_cycle_);
     });
   }
+  if (faults.any()) {
+    fault_ = std::make_unique<FaultInjector>(faults, net_->num_nodes());
+    fabric_.set_fault_injector(fault_.get());
+    // Arm only the inter-router flit links: local NI channels and credit
+    // wires stay reliable (credit loss without a credit-recovery protocol
+    // would just be an unrecoverable leak, not an interesting fault).
+    for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+      for (Direction d : kMeshDirections) {
+        if (auto* ch = net_->flit_channel(id, d)) {
+          ch->set_fault_hook(
+              [f = fault_.get()](const Flit& flit) { return f->flit_fate(flit); });
+        }
+      }
+    }
+  }
 }
 
 void FlovNetwork::step(Cycle now) {
@@ -37,6 +53,35 @@ void FlovNetwork::step(Cycle now) {
   net_->step(now);
   fabric_.step(now);
   for (auto& h : hscs_) h->step(now);
+  if (fault_) {
+    const NodeId t = fault_->spurious_wakeup_target(now);
+    if (t != kInvalidNode) hscs_[t]->trigger_wakeup(now);
+  }
+}
+
+bool FlovNetwork::attempt_recovery(Cycle now) {
+  // Rebuild every neighborhood view from ground truth (the hardware analog:
+  // a slow out-of-band scrub walking the control wires), re-arm the wakeup
+  // triggers, and re-send every unanswered handshake request. Idempotent
+  // and safe fault-free — it only restates what reliable wires would have
+  // delivered already.
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) refresh_view(id);
+  std::fill(trigger_sent_.begin(), trigger_sent_.end(), false);
+  std::fill(trigger_sent_at_.begin(), trigger_sent_at_.end(), Cycle{0});
+  for (auto& h : hscs_) h->recovery_kick(now);
+  recoveries_++;
+  return true;
+}
+
+void FlovNetwork::dump_state(Cycle now) const {
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+    const Router& r = net_->router(id);
+    const bool busy = !r.completely_empty();
+    if (busy || hscs_[id]->state() != PowerState::kActive) {
+      hscs_[id]->dump(now);
+    }
+    if (busy) r.dump_occupancy(now);
+  }
 }
 
 void FlovNetwork::set_core_gated(NodeId core, bool gated, Cycle now) {
@@ -176,10 +221,25 @@ void FlovNetwork::refresh_view(NodeId w) {
 }
 
 void FlovNetwork::request_wakeup(NodeId requester, NodeId target, Cycle now) {
+  if (requester == target) {
+    // Self-capture: the gated router itself found a flit addressed to it on
+    // its bypass datapath; no trigger needs to travel anywhere.
+    hscs_[target]->trigger_wakeup(now);
+    return;
+  }
   auto& h = *hscs_[target];
   if (h.state() != PowerState::kSleep) return;
-  if (h.wakeup_pending() || trigger_sent_[target]) return;
+  if (h.wakeup_pending()) return;
+  if (trigger_sent_[target]) {
+    // Re-arm a trigger that was apparently lost on the control wires.
+    if (params_.trigger_retry_timeout == 0 ||
+        now - trigger_sent_at_[target] < params_.trigger_retry_timeout) {
+      return;
+    }
+    trigger_resends_++;
+  }
   trigger_sent_[target] = true;
+  trigger_sent_at_[target] = now;
   // Direction from requester toward target (they share a row or column).
   const Coord a = net_->geom().coord(requester);
   const Coord b = net_->geom().coord(target);
@@ -205,7 +265,14 @@ FlovNetwork::ProtocolStats FlovNetwork::protocol_stats(Cycle now) const {
     s.wakeups += h->wake_completions();
     s.drain_aborts += h->drain_aborts();
     s.sleep_cycles += h->sleep_cycles(now);
+    s.hs_resends += h->hs_resends();
+    s.psr_block_clears += h->psr_block_clears();
   }
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+    s.self_captures += net_->router(id).self_captures();
+  }
+  s.trigger_resends = trigger_resends_;
+  s.recoveries = recoveries_;
   if (now > 0) {
     s.avg_gated_routers =
         static_cast<double>(s.sleep_cycles) / static_cast<double>(now);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "flov/hsc.hpp"
 #include "flov/signal_fabric.hpp"
 #include "noc/network.hpp"
@@ -27,11 +28,14 @@ namespace flov {
 
 class FlovNetwork final : public NocSystem {
  public:
+  /// `faults`: optional fault model; all-zero (the default) injects nothing
+  /// and installs no hooks (fault support is then zero-cost).
   FlovNetwork(const NocParams& params, FlovMode mode,
-              const EnergyParams& energy);
+              const EnergyParams& energy, const FaultParams& faults = {});
 
   // --- NocSystem ---
   void step(Cycle now) override;
+  bool attempt_recovery(Cycle now) override;
   void set_core_gated(NodeId core, bool gated, Cycle now) override;
   bool core_gated(NodeId core) const override {
     return hscs_[core]->core_gated();
@@ -72,8 +76,18 @@ class FlovNetwork final : public NocSystem {
   /// Credit-handover + view refresh when router `w` turns Active.
   void wake_handover(NodeId w, Cycle now);
   /// Sends a WakeupTrigger from `requester` toward sleeping `target`
-  /// (deduplicated: no-op if the target is already waking or triggered).
+  /// (deduplicated: no-op if the target is already waking or triggered,
+  /// until `trigger_retry_timeout` declares the trigger lost and re-arms).
+  /// `requester == target` is the gated router's own self-capture path and
+  /// flags the wakeup directly.
   void request_wakeup(NodeId requester, NodeId target, Cycle now);
+
+  /// The armed fault injector, or null when running fault-free.
+  FaultInjector* fault_injector() { return fault_.get(); }
+  const FaultInjector* fault_injector() const { return fault_.get(); }
+
+  /// Stall diagnostics: HSC + occupancy dump of every non-quiescent router.
+  void dump_state(Cycle now) const;
 
   // Aggregate stats.
   int gated_router_count() const;
@@ -84,6 +98,11 @@ class FlovNetwork final : public NocSystem {
     std::uint64_t drain_aborts = 0;
     Cycle sleep_cycles = 0;           ///< total router-cycles spent gated
     double avg_gated_routers = 0.0;   ///< sleep_cycles / elapsed cycles
+    std::uint64_t hs_resends = 0;     ///< recovery re-sends (HSC retries)
+    std::uint64_t trigger_resends = 0;
+    std::uint64_t psr_block_clears = 0;
+    std::uint64_t self_captures = 0;  ///< bypass self-destined captures
+    std::uint64_t recoveries = 0;     ///< watchdog attempt_recovery calls
   };
   ProtocolStats protocol_stats(Cycle now) const;
 
@@ -110,10 +129,16 @@ class FlovNetwork final : public NocSystem {
   std::unique_ptr<FlovRouting> routing_;
   std::unique_ptr<Network> net_;
   SignalFabric fabric_;
+  std::unique_ptr<FaultInjector> fault_;
   std::vector<std::unique_ptr<HandshakeController>> hscs_;
   /// One outstanding WakeupTrigger per sleeping target (reset at each
-  /// Sleep entry); packet holders re-request every cycle otherwise.
+  /// Sleep entry); packet holders re-request every cycle otherwise. The
+  /// timestamp re-arms the trigger after `trigger_retry_timeout` (loss
+  /// recovery).
   std::vector<bool> trigger_sent_;
+  std::vector<Cycle> trigger_sent_at_;
+  std::uint64_t trigger_resends_ = 0;
+  std::uint64_t recoveries_ = 0;
   Cycle current_cycle_ = 0;
 };
 

@@ -34,6 +34,12 @@ struct HsMessage {
   /// the travel direction (the receiver's new logical neighbor beyond the
   /// sender). kInvalidNode if none.
   NodeId logical_beyond = kInvalidNode;
+  /// Handshake episode tag: DrainReq/WakeupNotify carry the sender's FSM
+  /// epoch; DrainDone echoes the request's. A drainer ignores DrainDones
+  /// from a previous episode — without this, a leftover reply to an
+  /// aborted drain (the DrainAbort was lost) can falsely complete the NEXT
+  /// drain while a worm is still in flight. [impl]
+  std::uint32_t epoch = 0;
 };
 
 }  // namespace flov

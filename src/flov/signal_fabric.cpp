@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace flov {
 
@@ -19,11 +20,24 @@ const char* to_string(HsType t) {
   return "?";
 }
 
+void SignalFabric::enqueue_hop(Cycle now, NodeId next, const HsMessage& msg) {
+  if (power_) power_->count(EnergyEvent::kHandshakeSignal);
+  if (fault_) {
+    if (fault_->drop_signal(msg)) return;
+    queue_.push_back(InFlight{now + 1 + fault_->signal_extra_delay(), next,
+                              msg});
+    if (fault_->duplicate_signal(msg)) {
+      queue_.push_back(InFlight{now + 1, next, msg});
+    }
+    return;
+  }
+  queue_.push_back(InFlight{now + 1, next, msg});
+}
+
 void SignalFabric::send(Cycle now, const HsMessage& msg) {
   const NodeId next = geom_.neighbor(msg.from, msg.travel);
   if (next == kInvalidNode) return;  // signaling off the mesh edge is a no-op
-  queue_.push_back(InFlight{now + 1, next, msg});
-  if (power_) power_->count(EnergyEvent::kHandshakeSignal);
+  enqueue_hop(now, next, msg);
 }
 
 void SignalFabric::step(Cycle now) {
@@ -44,8 +58,7 @@ void SignalFabric::step(Cycle now) {
     if (absorbed) continue;
     const NodeId next = geom_.neighbor(f.next, f.msg.travel);
     if (next == kInvalidNode) continue;  // ran off the edge: signal dies
-    queue_.push_back(InFlight{now + 1, next, f.msg});
-    if (power_) power_->count(EnergyEvent::kHandshakeSignal);
+    enqueue_hop(now, next, f.msg);
   }
 }
 

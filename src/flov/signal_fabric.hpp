@@ -17,6 +17,8 @@
 
 namespace flov {
 
+class FaultInjector;
+
 class SignalFabric {
  public:
   /// Handler: invoked at `at` when a message arrives; returns true if the
@@ -27,6 +29,10 @@ class SignalFabric {
       : geom_(geom), power_(power) {}
 
   void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Arms the fault model (non-owning; null = reliable wires). Every hop —
+  /// initial send and each sleeping-router relay — rolls its own fate.
+  void set_fault_injector(FaultInjector* f) { fault_ = f; }
 
   /// Injects a signal at `msg.from`, traveling `msg.travel`; first delivery
   /// happens next cycle at the adjacent router.
@@ -45,10 +51,15 @@ class SignalFabric {
     HsMessage msg;
   };
 
+  /// One hop toward `next`, subject to the fault model (drop/delay/dup).
+  void enqueue_hop(Cycle now, NodeId next, const HsMessage& msg);
+
   const MeshGeometry& geom_;
   PowerTracker* power_;
   Handler handler_;
-  std::deque<InFlight> queue_;  ///< kept sorted by deliver_at (FIFO sends)
+  FaultInjector* fault_ = nullptr;
+  /// Unsorted when delay faults are armed; step() scans the whole queue.
+  std::deque<InFlight> queue_;
 };
 
 }  // namespace flov

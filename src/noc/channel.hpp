@@ -7,6 +7,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -25,11 +26,29 @@ class Channel {
 
   Cycle latency() const { return latency_; }
 
+  /// Fault hook (fault-injection subsystem): consulted once per send;
+  /// returns the extra delivery delay, or nullopt to drop the item on the
+  /// wire. Unset on fault-free channels, keeping send() hook-free and cheap.
+  using FaultHook = std::function<std::optional<Cycle>(const T&)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   /// Enqueues an item during cycle `now`; it arrives at now + latency.
   void send(Cycle now, T item) {
-    FLOV_DCHECK(queue_.empty() || queue_.back().first <= now + latency_,
+    Cycle arrival = now + latency_;
+    if (fault_hook_) {
+      const std::optional<Cycle> fate = fault_hook_(item);
+      if (!fate.has_value()) return;  // dropped on the wire
+      arrival += *fate;
+      // A delayed item must not reorder the wire or let two items become
+      // deliverable on the same cycle (single-recv consumers — the FLOV
+      // bypass latches — rely on >= 1-cycle spacing).
+      if (!queue_.empty() && arrival <= queue_.back().first) {
+        arrival = queue_.back().first + 1;
+      }
+    }
+    FLOV_DCHECK(queue_.empty() || queue_.back().first <= arrival,
                 "channel send out of order");
-    queue_.emplace_back(now + latency_, std::move(item));
+    queue_.emplace_back(arrival, std::move(item));
   }
 
   /// Pops the single item arriving at or before `now`, if any.
@@ -68,6 +87,7 @@ class Channel {
  private:
   Cycle latency_;
   std::deque<std::pair<Cycle, T>> queue_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace flov

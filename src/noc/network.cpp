@@ -77,6 +77,20 @@ void Network::set_eject_callback(
   for (auto& ni : nis_) ni->set_eject_callback(cb);
 }
 
+void Network::add_eject_callback(
+    std::function<void(const PacketRecord&)> cb) {
+  for (auto& ni : nis_) ni->add_eject_callback(cb);
+}
+
+std::uint64_t Network::in_network_flits() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) {
+    n += static_cast<std::uint64_t>(r->buffered_flits());
+  }
+  for (const auto& ch : flit_channels_) n += ch->in_flight();
+  return n;
+}
+
 bool Network::idle() const {
   for (const auto& r : routers_) {
     if (!r->completely_empty()) return false;

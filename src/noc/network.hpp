@@ -42,6 +42,15 @@ class Network {
   /// Installs the same ejection callback on every NI.
   void set_eject_callback(std::function<void(const PacketRecord&)> cb);
 
+  /// Adds the same passive ejection observer on every NI (survives a later
+  /// set_eject_callback; used by the invariant verifier).
+  void add_eject_callback(std::function<void(const PacketRecord&)> cb);
+
+  /// Flits currently inside the fabric: router buffers + FLOV latches +
+  /// every flit channel (inter-router and local). With the NI counters this
+  /// closes the conservation equation injected == ejected + in_network.
+  std::uint64_t in_network_flits() const;
+
   /// No flits anywhere: buffers, latches, channels, NI queues/streams.
   bool idle() const;
 

@@ -59,6 +59,7 @@ void NetworkInterface::eject(Cycle now) {
       ejected_packets_++;
       pending_heads_.erase(it);
       if (eject_cb_) eject_cb_(rec);
+      for (const auto& cb : eject_observers_) cb(rec);
     }
   }
 }

@@ -51,8 +51,15 @@ class NetworkInterface {
   void connect_credit_from_router(Channel<Credit>* ch) { credit_from_ = ch; }
   void connect_credit_to_router(Channel<Credit>* ch) { credit_to_ = ch; }
 
+  /// Installs THE primary ejection callback (replaces any previous one but
+  /// keeps observers added with add_eject_callback).
   void set_eject_callback(std::function<void(const PacketRecord&)> cb) {
     eject_cb_ = std::move(cb);
+  }
+  /// Adds a passive observer notified after the primary callback (used by
+  /// the invariant verifier; observers survive set_eject_callback).
+  void add_eject_callback(std::function<void(const PacketRecord&)> cb) {
+    eject_observers_.push_back(std::move(cb));
   }
 
   /// Queues a packet for injection.
@@ -112,6 +119,7 @@ class NetworkInterface {
 
   std::map<std::uint64_t, Flit> pending_heads_;  ///< head held until tail
   std::function<void(const PacketRecord&)> eject_cb_;
+  std::vector<std::function<void(const PacketRecord&)>> eject_observers_;
   bool stalled_ = false;
 
   std::uint64_t injected_flits_ = 0;

@@ -23,6 +23,23 @@ struct NocParams {
   bool enable_escape_diversion = true;
   Cycle wakeup_latency = 10;     ///< power-on delay (Table I)
   Cycle drain_idle_threshold = 16;  ///< local-port quiet time before drain
+  /// How long a drain may stall before aborting back to Active (the
+  /// deadlock-breaking engineering addition documented in PROTOCOL.md §2).
+  Cycle drain_abort_timeout = 2048;
+  /// Handshake-recovery knobs (PROTOCOL.md §7). A drainer/waker re-sends its
+  /// DrainReq/WakeupNotify to partners whose DrainDone is overdue by
+  /// `hs_retry_timeout` cycles, at most `hs_retry_limit` times (0 disables).
+  Cycle hs_retry_timeout = 64;
+  int hs_retry_limit = 8;
+  /// A holder re-issues an unanswered WakeupTrigger after this many cycles
+  /// (0 = single-shot trigger, the pre-recovery behaviour).
+  Cycle trigger_retry_timeout = 128;
+  /// Sleeping routers re-broadcast SleepNotify every this many cycles so a
+  /// lost notification heals (0 = off; enable when injecting faults).
+  Cycle sleep_reannounce_interval = 0;
+  /// A stale output_blocked PSR flag is optimistically cleared after this
+  /// many cycles without reinforcement (0 = off; enable with faults).
+  Cycle psr_block_timeout = 0;
 
   int total_vcs() const { return num_vnets * vcs_per_vnet; }
   int vnet_of_vc(VcId vc) const { return vc / vcs_per_vnet; }
@@ -51,6 +68,17 @@ struct NocParams {
     p.wakeup_latency = cfg.get_int("noc.wakeup_latency", p.wakeup_latency);
     p.drain_idle_threshold =
         cfg.get_int("noc.drain_idle_threshold", p.drain_idle_threshold);
+    p.drain_abort_timeout =
+        cfg.get_int("noc.drain_abort_timeout", p.drain_abort_timeout);
+    p.hs_retry_timeout = cfg.get_int("noc.hs_retry_timeout", p.hs_retry_timeout);
+    p.hs_retry_limit =
+        static_cast<int>(cfg.get_int("noc.hs_retry_limit", p.hs_retry_limit));
+    p.trigger_retry_timeout =
+        cfg.get_int("noc.trigger_retry_timeout", p.trigger_retry_timeout);
+    p.sleep_reannounce_interval = cfg.get_int("noc.sleep_reannounce_interval",
+                                              p.sleep_reannounce_interval);
+    p.psr_block_timeout =
+        cfg.get_int("noc.psr_block_timeout", p.psr_block_timeout);
     p.validate();
     return p;
   }

@@ -114,7 +114,17 @@ void Router::accept_flits(Cycle now) {
       FLOV_CHECK(vc.occupancy() < params_.buffer_depth,
                  "input buffer overflow at router " + std::to_string(id_));
       if (f->head && vc.state == VcState::kIdle) {
-        FLOV_CHECK(vc.buffer.empty(), "idle VC with buffered flits");
+        FLOV_CHECK(vc.buffer.empty(),
+                   "idle VC with buffered flits: router " +
+                       std::to_string(id_) + " port " +
+                       to_string(dir_from_index(p)) + " vc " +
+                       std::to_string(f->vc) + " holds " +
+                       std::to_string(vc.occupancy()) + " flits (front pkt " +
+                       std::to_string(vc.buffer.front().packet_id) +
+                       " head=" + std::to_string(vc.buffer.front().head) +
+                       " tail=" + std::to_string(vc.buffer.front().tail) +
+                       ") while head of pkt " + std::to_string(f->packet_id) +
+                       " arrives");
         vc.state = VcState::kRouting;
         vc.stage_ready = now + 1;  // RC occupies the next cycle
         vc.wait_since = now;
@@ -149,6 +159,25 @@ void Router::accept_flits_bypass(Cycle now) {
     auto* ch = in_flit_[dir_index(p)];
     if (!ch) continue;
     while (auto f = ch->recv(now)) {
+      if (f->head && !f->tail) ++bypass_worms_open_;
+      if (f->tail && !f->head && bypass_worms_open_ > 0) --bypass_worms_open_;
+      if (f->dest == id_) {
+        // Self-capture [impl]: a flit addressed to this gated router reached
+        // its bypass datapath — possible only when an upstream missed the
+        // SleepNotify (a fault) and kept transmitting. The always-on NI
+        // ejects it, the credit is returned upstream on this router's
+        // behalf (exactly as the relay would have done had the flit flown
+        // over to the router the upstream's credits track), and a wakeup is
+        // triggered so the stale neighborhood views heal.
+        auto* local_out = out_flit_[dir_index(Direction::Local)];
+        FLOV_CHECK(local_out != nullptr, "bypass self-capture without NI link");
+        local_out->send(now, *f);
+        if (auto* cr = credit_out_[dir_index(p)]) cr->send(now, Credit{f->vc});
+        count(EnergyEvent::kFlovLatch);
+        self_captures_++;
+        if (wakeup_cb_) wakeup_cb_(id_);
+        continue;
+      }
       const Direction outd = opposite(p);
       FLOV_CHECK(geom_.neighbor(id_, outd) != kInvalidNode,
                  "fly-over would exit the mesh at router " +
@@ -456,6 +485,7 @@ void Router::set_mode(RouterMode m, Cycle now) {
                  "gating a router with live output VCs");
     }
     count(EnergyEvent::kPgTransition);  // one charge per gate/wake pair
+    bypass_worms_open_ = 0;
   }
   if (m == RouterMode::kPipeline) {
     FLOV_CHECK(latches_empty(), "waking a router with occupied FLOV latches");
@@ -495,8 +525,32 @@ bool Router::output_port_idle(Direction d) const {
   return !output_[dir_index(d)].any_allocated();
 }
 
+bool Router::all_outputs_idle() const {
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (output_[p].any_allocated()) return false;
+  }
+  return true;
+}
+
+bool Router::bypass_quiet() const {
+  if (bypass_worms_open_ > 0) return false;
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (in_flit_[p] && !in_flit_[p]->empty()) return false;
+  }
+  return true;
+}
+
 bool Router::completely_empty() const {
   return input_buffers_empty() && latches_empty() && pending_st_.empty();
+}
+
+int Router::buffered_flits() const {
+  int n = 0;
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (const auto& vc : input_[p].vcs) n += vc.occupancy();
+  }
+  for (const auto& l : latch_) n += l.flit.has_value() ? 1 : 0;
+  return n;
 }
 
 std::vector<int> Router::input_free_slots(Direction in_port) const {

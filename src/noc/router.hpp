@@ -84,6 +84,18 @@ class Router {
   /// True when output port `d` has no allocated output VCs (no in-flight
   /// packet transmission toward that neighbor) — the drain_done condition.
   bool output_port_idle(Direction d) const;
+  /// True when NO output port (local included) has an allocated output VC.
+  /// An allocated output means a worm through this router has flits still
+  /// upstream — gating now would orphan them mid-flight.
+  bool all_outputs_idle() const;
+  /// True when the bypass path has no worm in progress (every head that was
+  /// latched through has seen its tail) and no flit is in flight on any
+  /// incoming wire. A waking router must not switch to pipeline mode
+  /// before this holds: an upstream that missed the WakeupNotify (lost
+  /// signal) may still be streaming a worm through our latches, and
+  /// power-on mid-worm would strand headless body flits in the input
+  /// buffers.
+  bool bypass_quiet() const;
   /// True when the router holds no flits at all (buffers, latches, pending
   /// switch grants).
   bool completely_empty() const;
@@ -112,6 +124,11 @@ class Router {
     return output_[dir_index(d)];
   }
   std::uint64_t flits_traversed() const { return flits_traversed_; }
+  /// Flits resident in this router right now (input VC buffers + FLOV
+  /// latches); used by the verifier's conservation sum.
+  int buffered_flits() const;
+  /// Self-destined flits captured to the NI while gated (faults only).
+  std::uint64_t self_captures() const { return self_captures_; }
   /// Writes a human-readable description of every non-empty input VC and
   /// occupied latch to stderr (deadlock diagnostics).
   void dump_occupancy(Cycle now) const;
@@ -175,8 +192,12 @@ class Router {
 
   std::function<void(NodeId)> wakeup_cb_;
   Cycle last_local_activity_ = 0;
+  /// Worms mid-flight on the bypass path: +1 when a head (of a multi-flit
+  /// packet) arrives in bypass mode, -1 when its tail does.
+  int bypass_worms_open_ = 0;
   std::uint64_t flits_traversed_ = 0;
   std::uint64_t flits_flown_over_ = 0;
+  std::uint64_t self_captures_ = 0;
 };
 
 }  // namespace flov

@@ -25,6 +25,15 @@ class NocSystem {
   /// cores, and for everyone during RP's reconfiguration stall).
   virtual bool injection_allowed(NodeId src) const = 0;
 
+  /// Watchdog escalation hook: try to un-wedge a stalled fabric (e.g. by
+  /// re-issuing lost handshake signals). Returns true if the scheme did
+  /// anything worth granting a fresh progress window for; the default
+  /// scheme has no recovery story.
+  virtual bool attempt_recovery(Cycle now) {
+    (void)now;
+    return false;
+  }
+
   virtual Network& network() = 0;
   virtual const Network& network() const = 0;
 

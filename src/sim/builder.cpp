@@ -28,7 +28,8 @@ Scheme scheme_from_string(const std::string& name) {
 
 BuiltSystem build_system(Scheme scheme, const NocParams& params,
                          const EnergyParams& energy,
-                         std::vector<bool> always_on) {
+                         std::vector<bool> always_on,
+                         const FaultParams& faults) {
   BuiltSystem out;
   switch (scheme) {
     case Scheme::kBaseline: {
@@ -39,14 +40,14 @@ BuiltSystem build_system(Scheme scheme, const NocParams& params,
     }
     case Scheme::kRFlov: {
       auto sys = std::make_unique<FlovNetwork>(params, FlovMode::kRestricted,
-                                               energy);
+                                               energy, faults);
       out.power = &sys->power();
       out.system = std::move(sys);
       break;
     }
     case Scheme::kGFlov: {
       auto sys = std::make_unique<FlovNetwork>(params, FlovMode::kGeneralized,
-                                               energy);
+                                               energy, faults);
       out.power = &sys->power();
       out.system = std::move(sys);
       break;

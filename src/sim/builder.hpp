@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_model.hpp"
 #include "noc/system_iface.hpp"
 #include "power/energy_model.hpp"
 #include "power/power_tracker.hpp"
@@ -32,8 +33,11 @@ struct BuiltSystem {
 
 /// `always_on`: routers RP must never park (MCs); ignored by other schemes
 /// (FLOV keeps its AON column on regardless).
+/// `faults`: fault-injection model; only the FLOV schemes honor it (the
+/// handshake fabric is what the faults target), others run reliable.
 BuiltSystem build_system(Scheme scheme, const NocParams& params,
                          const EnergyParams& energy,
-                         std::vector<bool> always_on = {});
+                         std::vector<bool> always_on = {},
+                         const FaultParams& faults = {});
 
 }  // namespace flov

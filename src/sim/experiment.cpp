@@ -1,16 +1,41 @@
 #include "sim/experiment.hpp"
 
+#include <cstdio>
+#include <memory>
+
 #include "common/log.hpp"
 #include "flov/flov_network.hpp"
 #include "rp/rp_network.hpp"
 #include "traffic/gating_scenario.hpp"
 #include "traffic/synthetic_traffic.hpp"
 #include "traffic/traffic_pattern.hpp"
+#include "verify/invariant_verifier.hpp"
 
 namespace flov {
 
+namespace {
+
+/// Diagnostic dump on a watchdog stall: every non-quiescent router's
+/// occupancy, plus the full handshake FSM picture for FLOV schemes.
+void dump_stall_state(NocSystem& sys, Cycle now) {
+  std::fprintf(stderr, "[watchdog] --- %s stalled, state at cycle %llu ---\n",
+               sys.name(), static_cast<unsigned long long>(now));
+  if (auto* f = dynamic_cast<FlovNetwork*>(&sys)) {
+    f->dump_state(now);
+    return;
+  }
+  Network& net = sys.network();
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Router& r = net.router(id);
+    if (!r.completely_empty()) r.dump_occupancy(now);
+  }
+}
+
+}  // namespace
+
 RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
-  BuiltSystem built = build_system(cfg.scheme, cfg.noc, cfg.energy);
+  BuiltSystem built = build_system(cfg.scheme, cfg.noc, cfg.energy,
+                                   /*always_on=*/{}, cfg.faults);
   NocSystem& sys = *built.system;
   Network& net = sys.network();
 
@@ -30,23 +55,41 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   net.set_eject_callback(
       [&stats](const PacketRecord& r) { stats.record(r); });
 
+  std::unique_ptr<InvariantVerifier> verifier;
+  if (cfg.verify) {
+    if (auto* f = dynamic_cast<FlovNetwork*>(&sys)) {
+      verifier = std::make_unique<InvariantVerifier>(*f, cfg.verifier);
+    } else {
+      verifier = std::make_unique<InvariantVerifier>(net, cfg.verifier);
+    }
+  }
+
   const Cycle total = cfg.warmup + cfg.measure;
   std::uint64_t last_ejected = 0;
   Cycle last_progress = 0;
+  std::uint64_t recoveries = 0;
+  bool recovery_armed = true;  ///< one recovery attempt per stall episode
   for (Cycle now = 0; now < total; ++now) {
     scenario.apply(sys, now);
     traffic.step(now);
     sys.step(now);
+    if (verifier) verifier->step(now);
     if (now == cfg.warmup) built.power->begin_window(now);
     if (cfg.watchdog && (now % 1024) == 0) {
       const std::uint64_t ej = net.total_ejected_flits();
       if (ej != last_ejected || net.in_flight_empty()) {
         last_ejected = ej;
         last_progress = now;
-      } else {
-        FLOV_CHECK(now - last_progress < cfg.watchdog,
+        recovery_armed = true;
+      } else if (now - last_progress >= cfg.watchdog) {
+        dump_stall_state(sys, now);
+        const bool recovered = recovery_armed && sys.attempt_recovery(now);
+        FLOV_CHECK(recovered,
                    std::string("no forward progress (possible deadlock) in ") +
                        to_string(cfg.scheme));
+        recovery_armed = false;  // a second stall in this episode aborts
+        recoveries++;
+        last_progress = now;  // fresh window for the recovery to act
       }
     }
   }
@@ -63,15 +106,27 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   r.injected_flits = net.total_injected_flits();
   r.ejected_flits = net.total_ejected_flits();
   r.escape_packets = stats.escape_packets();
+  r.watchdog_recoveries = recoveries;
   if (auto* f = dynamic_cast<FlovNetwork*>(&sys)) {
     r.gated_routers_end = f->gated_router_count();
     const auto ps = f->protocol_stats(total);
     r.avg_gated_routers = ps.avg_gated_routers;
     r.protocol_sleeps = ps.sleeps;
     r.protocol_wakeups = ps.wakeups;
+    r.hs_resends = ps.hs_resends;
+    r.trigger_resends = ps.trigger_resends;
+    r.self_captures = ps.self_captures;
+    if (const FaultInjector* fi = f->fault_injector()) {
+      r.flits_dropped_by_faults = fi->counters().flits_dropped;
+    }
   } else if (auto* p = dynamic_cast<RpNetwork*>(&sys)) {
     r.gated_routers_end = p->parked_router_count();
     r.avg_gated_routers = r.gated_routers_end;
+  }
+  if (verifier) {
+    verifier->final_check(total);
+    r.verifier_violations = verifier->violations();
+    r.verifier_checks = verifier->checks_run();
   }
   if (const TimeSeries* ts = stats.timeline()) r.timeline = ts->points();
   return r;

@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault_model.hpp"
 #include "noc/noc_params.hpp"
 #include "power/power_tracker.hpp"
 #include "sim/builder.hpp"
 #include "sim/latency_stats.hpp"
+#include "verify/invariant_verifier.hpp"
 
 namespace flov {
 
@@ -29,8 +31,15 @@ struct SyntheticExperimentConfig {
   std::vector<Cycle> gating_changes;
   /// Latency-vs-time bucket width (0 = no timeline).
   Cycle timeline_window = 0;
-  /// Abort if no packet makes progress for this long (0 = disabled).
+  /// Watchdog: if no packet makes progress for this long, dump state and
+  /// try one scheme-level recovery; abort only if the stall persists
+  /// (0 = disabled).
   Cycle watchdog = 50000;
+  /// Fault-injection model (FLOV schemes only; all-zero = reliable).
+  FaultParams faults;
+  /// Run the invariant verifier alongside the simulation.
+  bool verify = true;
+  VerifierOptions verifier;
 };
 
 struct RunResult {
@@ -51,6 +60,14 @@ struct RunResult {
   double avg_gated_routers = 0.0;
   std::uint64_t protocol_sleeps = 0;   ///< FLOV Sleep entries
   std::uint64_t protocol_wakeups = 0;  ///< FLOV completed wakeups
+  // --- robustness counters ---
+  std::uint64_t watchdog_recoveries = 0;  ///< stalls healed by recovery
+  std::uint64_t verifier_violations = 0;  ///< 0 unless verifier.fatal=false
+  std::uint64_t verifier_checks = 0;
+  std::uint64_t hs_resends = 0;        ///< handshake retries (signal loss)
+  std::uint64_t trigger_resends = 0;   ///< re-armed WakeupTriggers
+  std::uint64_t self_captures = 0;     ///< bypass self-destined captures
+  std::uint64_t flits_dropped_by_faults = 0;
   std::vector<TimeSeries::Point> timeline;
 };
 
