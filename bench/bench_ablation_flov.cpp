@@ -20,14 +20,47 @@ int main(int argc, char** argv) {
   base.gated_fraction = 0.5;
   if (base.measure > 30000) base.measure = 30000;
 
-  print_header("Ablation (a) — wakeup latency, gFLOV with gating churn");
-  std::printf("%-16s %12s %12s\n", "wakeup (cycles)", "avg latency",
-              "total mW");
-  for (Cycle w : {5, 10, 20, 50}) {
+  const SweepOptions sweep = sweep_from_args(argc, argv);
+  const Cycle wakeups[] = {5, 10, 20, 50};
+  const Cycle timeouts[] = {16, 64, 128, 512};
+  const int depths[] = {2, 4, 6, 8};
+  const Cycle thresholds[] = {4, 16, 64, 256};
+
+  // Ablations (a), (b), (d), (e) are one pooled sweep; (c) stays apart —
+  // it EXPECTS a watchdog abort, and the point-order-deterministic rethrow
+  // would otherwise mask or reorder that failure against real ones.
+  std::vector<SyntheticExperimentConfig> points;
+  for (Cycle w : wakeups) {
     SyntheticExperimentConfig c = base;
     c.noc.wakeup_latency = w;
     c.gating_changes = {15000, 20000, 25000, 30000};
-    const RunResult r = run_synthetic(c);
+    points.push_back(c);
+  }
+  for (Cycle t : timeouts) {
+    SyntheticExperimentConfig c = base;
+    c.noc.deadlock_timeout = t;
+    c.inj_rate_flits = 0.08;
+    c.gated_fraction = 0.6;
+    points.push_back(c);
+  }
+  for (int d : depths) {
+    SyntheticExperimentConfig c = base;
+    c.noc.buffer_depth = d;
+    points.push_back(c);
+  }
+  for (Cycle t : thresholds) {
+    SyntheticExperimentConfig c = base;
+    c.noc.drain_idle_threshold = t;
+    points.push_back(c);
+  }
+  const std::vector<RunResult> results = run_sweep(points, sweep);
+  std::size_t idx = 0;
+
+  print_header("Ablation (a) — wakeup latency, gFLOV with gating churn");
+  std::printf("%-16s %12s %12s\n", "wakeup (cycles)", "avg latency",
+              "total mW");
+  for (Cycle w : wakeups) {
+    const RunResult& r = results[idx++];
     std::printf("%-16llu %12.2f %12.2f\n",
                 static_cast<unsigned long long>(w), r.avg_latency,
                 r.power.total_mw);
@@ -35,12 +68,8 @@ int main(int argc, char** argv) {
 
   print_header("Ablation (b) — deadlock-recovery timeout (escape threshold)");
   std::printf("%-16s %12s %14s\n", "timeout", "avg latency", "escape pkts");
-  for (Cycle t : {16, 64, 128, 512}) {
-    SyntheticExperimentConfig c = base;
-    c.noc.deadlock_timeout = t;
-    c.inj_rate_flits = 0.08;
-    c.gated_fraction = 0.6;
-    const RunResult r = run_synthetic(c);
+  for (Cycle t : timeouts) {
+    const RunResult& r = results[idx++];
     std::printf("%-16llu %12.2f %14llu\n",
                 static_cast<unsigned long long>(t), r.avg_latency,
                 static_cast<unsigned long long>(r.escape_packets));
@@ -68,10 +97,8 @@ int main(int argc, char** argv) {
   print_header("Ablation (d) — input buffer depth");
   std::printf("%-16s %12s %12s\n", "depth (flits)", "avg latency",
               "static mW");
-  for (int d : {2, 4, 6, 8}) {
-    SyntheticExperimentConfig c = base;
-    c.noc.buffer_depth = d;
-    const RunResult r = run_synthetic(c);
+  for (int d : depths) {
+    const RunResult& r = results[idx++];
     std::printf("%-16d %12.2f %12.2f\n", d, r.avg_latency,
                 r.power.static_mw);
   }
@@ -79,10 +106,8 @@ int main(int argc, char** argv) {
   print_header("Ablation (e) — drain idle threshold");
   std::printf("%-16s %12s %12s %8s\n", "threshold", "avg latency",
               "static mW", "gated");
-  for (Cycle t : {4, 16, 64, 256}) {
-    SyntheticExperimentConfig c = base;
-    c.noc.drain_idle_threshold = t;
-    const RunResult r = run_synthetic(c);
+  for (Cycle t : thresholds) {
+    const RunResult& r = results[idx++];
     std::printf("%-16llu %12.2f %12.2f %8d\n",
                 static_cast<unsigned long long>(t), r.avg_latency,
                 r.power.static_mw, r.gated_routers_end);

@@ -57,33 +57,46 @@ RpRun run_rp(FabricManagerConfig fm, double gated, Cycle measure,
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace flov;
   using namespace flov::bench;
   flov::Config cfg;
   cfg.parse_args(argc, argv);
   const flov::Cycle measure = cfg.get_int("measure", 40000);
+  const int jobs = cfg.get_int("jobs", 0);
+
+  // Each run builds its own RpNetwork, so the cells are independent; run
+  // them all on the pool, print in order afterwards.
+  const RpPolicy policies[] = {RpPolicy::kAggressive, RpPolicy::kConservative};
+  const Cycle phase1s[] = {200, 750, 1500, 3000};
+  std::vector<RpRun> runs(2 + 4);
+  parallel_run(static_cast<int>(runs.size()), jobs, [&](int i) {
+    FabricManagerConfig fm;
+    if (i < 2) {
+      fm.policy = policies[i];
+      runs[i] = run_rp(fm, 0.5, measure, {});
+    } else {
+      fm.phase1_latency = phase1s[i - 2];
+      runs[i] = run_rp(fm, 0.1, measure, {20000, 30000});
+    }
+  });
 
   print_header("RP ablation — parking policy at 50% gated cores");
   std::printf("%-14s %12s %12s %8s\n", "policy", "avg latency", "static mW",
               "parked");
-  for (auto policy : {flov::RpPolicy::kAggressive,
-                      flov::RpPolicy::kConservative}) {
-    flov::FabricManagerConfig fm;
-    fm.policy = policy;
-    const RpRun r = run_rp(fm, 0.5, measure, {});
+  for (int i = 0; i < 2; ++i) {
+    const RpRun& r = runs[i];
     std::printf("%-14s %12.2f %12.2f %8d\n",
-                policy == flov::RpPolicy::kAggressive ? "aggressive"
-                                                      : "conservative",
+                policies[i] == RpPolicy::kAggressive ? "aggressive"
+                                                     : "conservative",
                 r.avg_latency, r.static_mw, r.parked);
   }
 
   print_header("RP ablation — Phase-I latency vs reconfiguration spike");
   std::printf("%-14s %12s %14s\n", "phase1", "avg latency", "peak window");
-  for (flov::Cycle p1 : {200, 750, 1500, 3000}) {
-    flov::FabricManagerConfig fm;
-    fm.phase1_latency = p1;
-    const RpRun r = run_rp(fm, 0.1, measure, {20000, 30000});
+  for (int i = 0; i < 4; ++i) {
+    const RpRun& r = runs[2 + i];
     std::printf("%-14llu %12.2f %14.2f\n",
-                static_cast<unsigned long long>(p1), r.avg_latency,
+                static_cast<unsigned long long>(phase1s[i]), r.avg_latency,
                 r.peak_window);
   }
   return 0;

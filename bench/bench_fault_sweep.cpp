@@ -10,7 +10,9 @@
 
 namespace {
 
-void run_sweep(flov::SyntheticExperimentConfig ex, flov::bench::CsvSink* csv) {
+void run_fault_sweep(flov::SyntheticExperimentConfig ex,
+                     flov::bench::CsvSink* csv,
+                     const flov::SweepOptions& sweep) {
   using namespace flov;
   using namespace flov::bench;
 
@@ -31,11 +33,7 @@ void run_sweep(flov::SyntheticExperimentConfig ex, flov::bench::CsvSink* csv) {
 
   const double drop_rates[] = {0.0, 0.001, 0.01, 0.05};
 
-  print_header("Fault sweep — signal loss vs. FLOV recovery (uniform, "
-               "40% gated, churn)");
-  std::printf("%-8s %-10s %10s %10s %10s %10s %10s %10s\n", "scheme",
-              "drop_rate", "latency", "hs_resend", "trig_rsnd", "recover",
-              "violation", "delivered");
+  std::vector<SyntheticExperimentConfig> points;
   for (Scheme s : {Scheme::kRFlov, Scheme::kGFlov}) {
     for (double rate : drop_rates) {
       ex.scheme = s;
@@ -46,7 +44,21 @@ void run_sweep(flov::SyntheticExperimentConfig ex, flov::bench::CsvSink* csv) {
         ex.faults.signal_dup_rate = rate / 2;
         ex.faults.seed = ex.seed;
       }
-      const RunResult r = run_synthetic(ex);
+      points.push_back(ex);
+    }
+  }
+  const std::vector<RunResult> results = run_sweep(points, sweep);
+
+  print_header("Fault sweep — signal loss vs. FLOV recovery (uniform, "
+               "40% gated, churn)");
+  std::printf("%-8s %-10s %10s %10s %10s %10s %10s %10s\n", "scheme",
+              "drop_rate", "latency", "hs_resend", "trig_rsnd", "recover",
+              "violation", "delivered");
+  std::size_t idx = 0;
+  for (Scheme s : {Scheme::kRFlov, Scheme::kGFlov}) {
+    (void)s;
+    for (double rate : drop_rates) {
+      const RunResult& r = results[idx++];
       std::printf("%-8s %-10.3f %10.2f %10llu %10llu %10llu %10llu %10llu\n",
                   r.scheme.c_str(), rate, r.avg_latency,
                   static_cast<unsigned long long>(r.hs_resends),
@@ -81,6 +93,6 @@ int main(int argc, char** argv) {
       argc, argv,
       "figure,scheme,drop_rate,latency,hs_resends,trigger_resends,"
       "recoveries,violations,packets");
-  run_sweep(ex, &csv);
+  run_fault_sweep(ex, &csv, flov::bench::sweep_from_args(argc, argv));
   return 0;
 }

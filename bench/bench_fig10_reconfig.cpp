@@ -20,10 +20,15 @@ int main(int argc, char** argv) {
   ex.gating_changes = {50000, 60000};
   ex.timeline_window = 1000;
 
+  std::vector<SyntheticExperimentConfig> points;
   ex.scheme = Scheme::kRp;
-  const RunResult rp = run_synthetic(ex);
+  points.push_back(ex);
   ex.scheme = Scheme::kGFlov;
-  const RunResult gf = run_synthetic(ex);
+  points.push_back(ex);
+  const std::vector<RunResult> results =
+      run_sweep(points, sweep_from_args(argc, argv));
+  const RunResult& rp = results[0];
+  const RunResult& gf = results[1];
 
   print_header(
       "Fig. 10 — latency timeline around reconfigurations (changes at 50k, "

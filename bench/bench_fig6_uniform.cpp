@@ -9,18 +9,27 @@
 namespace {
 
 void run_figure(flov::SyntheticExperimentConfig ex, const char* figure,
-                flov::bench::CsvSink* csv) {
+                flov::bench::CsvSink* csv, const flov::SweepOptions& sweep) {
   using namespace flov;
   using namespace flov::bench;
   for (double inj : {0.02, 0.08}) {
     ex.inj_rate_flits = inj;
-    std::map<std::pair<int, int>, RunResult> results;
     const auto fractions = gating_fractions();
+    // One independent sweep point per (fraction, scheme); the pool runs
+    // them concurrently, results come back in this submission order.
+    std::vector<SyntheticExperimentConfig> points;
     for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
       for (int si = 0; si < 4; ++si) {
         ex.scheme = kAllSchemes[si];
         ex.gated_fraction = fractions[fi];
-        const RunResult r = run_synthetic(ex);
+        points.push_back(ex);
+      }
+    }
+    const std::vector<RunResult> sweep_results = run_sweep(points, sweep);
+    std::map<std::pair<int, int>, RunResult> results;
+    for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+      for (int si = 0; si < 4; ++si) {
+        const RunResult& r = sweep_results[fi * 4 + si];
         if (csv) {
           csv_run_row(*csv, figure, ex.pattern.c_str(), inj, fractions[fi],
                       r);
@@ -68,6 +77,6 @@ int main(int argc, char** argv) {
       flov::bench::synthetic_from_args(argc, argv);
   ex.pattern = "uniform";
   flov::bench::CsvSink csv(argc, argv, flov::bench::kCsvHeader);
-  run_figure(ex, "fig6", &csv);
+  run_figure(ex, "fig6", &csv, flov::bench::sweep_from_args(argc, argv));
   return 0;
 }

@@ -12,16 +12,24 @@ int main(int argc, char** argv) {
   SyntheticExperimentConfig ex = synthetic_from_args(argc, argv);
   ex.pattern = "tornado";
   CsvSink csv(argc, argv, kCsvHeader);
+  const SweepOptions sweep = sweep_from_args(argc, argv);
 
   for (double inj : {0.02, 0.08}) {
     ex.inj_rate_flits = inj;
-    std::map<std::pair<int, int>, RunResult> results;
     const auto fractions = gating_fractions();
+    std::vector<SyntheticExperimentConfig> points;
     for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
       for (int si = 0; si < 4; ++si) {
         ex.scheme = kAllSchemes[si];
         ex.gated_fraction = fractions[fi];
-        const RunResult r = run_synthetic(ex);
+        points.push_back(ex);
+      }
+    }
+    const std::vector<RunResult> sweep_results = run_sweep(points, sweep);
+    std::map<std::pair<int, int>, RunResult> results;
+    for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+      for (int si = 0; si < 4; ++si) {
+        const RunResult& r = sweep_results[fi * 4 + si];
         csv_run_row(csv, "fig7", "tornado", inj, fractions[fi], r);
         results[{static_cast<int>(fi), si}] = r;
       }

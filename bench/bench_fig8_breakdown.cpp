@@ -8,10 +8,22 @@ int main(int argc, char** argv) {
   using namespace flov;
   using namespace flov::bench;
   SyntheticExperimentConfig ex = synthetic_from_args(argc, argv);
+  const SweepOptions sweep = sweep_from_args(argc, argv);
   ex.inj_rate_flits = 0.02;
+  const double fractions[] = {0.2, 0.4, 0.6, 0.8};
 
   for (const char* pattern : {"uniform", "tornado"}) {
     ex.pattern = pattern;
+    std::vector<SyntheticExperimentConfig> points;
+    for (Scheme s : kAllSchemes) {
+      ex.scheme = s;
+      for (double f : fractions) {
+        ex.gated_fraction = f;
+        points.push_back(ex);
+      }
+    }
+    const std::vector<RunResult> results = run_sweep(points, sweep);
+
     char title[160];
     std::snprintf(title, sizeof(title),
                   "Fig. 8(%s) — latency breakdown, %s traffic, inj 0.02",
@@ -20,11 +32,11 @@ int main(int argc, char** argv) {
     std::printf("%-10s %-8s | %8s %8s %8s %8s %8s | %8s\n", "scheme",
                 "gated%", "router", "link", "serial", "content", "flov",
                 "total");
+    std::size_t idx = 0;
     for (Scheme s : kAllSchemes) {
-      ex.scheme = s;
-      for (double f : {0.2, 0.4, 0.6, 0.8}) {
-        ex.gated_fraction = f;
-        const RunResult r = run_synthetic(ex);
+      (void)s;
+      for (double f : fractions) {
+        const RunResult& r = results[idx++];
         const LatencyBreakdown& b = r.breakdown;
         std::printf("%-10s %-8.0f | %8.2f %8.2f %8.2f %8.2f %8.2f | %8.2f\n",
                     r.scheme.c_str(), f * 100, b.router, b.link,

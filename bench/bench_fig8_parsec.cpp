@@ -10,11 +10,13 @@
 
 #include "cmp/cmp_system.hpp"
 #include "common/config.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace flov;
   Config cfg;
   cfg.parse_args(argc, argv);
+  const int jobs = cfg.get_int("jobs", 0);
 
   CmpConfig base;
   base.noc = NocParams::from_config(cfg);
@@ -36,13 +38,23 @@ int main(int argc, char** argv) {
   // [benchmark][scheme]
   std::vector<std::vector<Norm>> all;
 
+  // 9 profiles x 4 schemes, each an independent full-system run.
+  const int n_schemes = static_cast<int>(std::size(kAllSchemes));
+  const int n_runs = static_cast<int>(suite.size()) * n_schemes;
+  std::vector<CmpResult> results(static_cast<std::size_t>(n_runs));
+  parallel_run(n_runs, jobs, [&](int i) {
+    CmpConfig c = base;
+    c.profile = suite[static_cast<std::size_t>(i / n_schemes)];
+    c.scheme = kAllSchemes[i % n_schemes];
+    results[static_cast<std::size_t>(i)] = run_cmp(c);
+  });
+
+  int idx = 0;
   for (const auto& prof : suite) {
     all.emplace_back();
     for (Scheme s : kAllSchemes) {
-      CmpConfig c = base;
-      c.profile = prof;
-      c.scheme = s;
-      const CmpResult r = run_cmp(c);
+      (void)s;
+      const CmpResult& r = results[static_cast<std::size_t>(idx++)];
       std::printf("%-14s %-9s | %10llu %12.2f %12.2f %9d\n",
                   prof.name.c_str(), r.scheme.c_str(),
                   static_cast<unsigned long long>(r.runtime),

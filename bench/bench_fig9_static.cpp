@@ -18,16 +18,27 @@ int main(int argc, char** argv) {
   if (ex.measure > 30000) ex.measure = 30000;
 
   CsvSink csv(argc, argv, kCsvHeader);
+  const auto fractions = gating_fractions();
+  std::vector<SyntheticExperimentConfig> points;
+  for (double f : fractions) {
+    ex.gated_fraction = f;
+    for (int si = 0; si < 4; ++si) {
+      ex.scheme = kAllSchemes[si];
+      points.push_back(ex);
+    }
+  }
+  const std::vector<RunResult> results =
+      run_sweep(points, sweep_from_args(argc, argv));
+
   print_header("Fig. 9 — static power (mW) vs fraction of power-gated cores");
   std::printf("%-8s %10s %10s %10s %10s | %s\n", "gated%", "Baseline", "RP",
               "rFLOV", "gFLOV", "gated routers (RP/rFLOV/gFLOV)");
-  for (double f : gating_fractions()) {
-    ex.gated_fraction = f;
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    const double f = fractions[fi];
     double vals[4];
     int gated[4];
     for (int si = 0; si < 4; ++si) {
-      ex.scheme = kAllSchemes[si];
-      const RunResult r = run_synthetic(ex);
+      const RunResult& r = results[fi * 4 + si];
       csv_run_row(csv, "fig9", ex.pattern.c_str(), ex.inj_rate_flits, f, r);
       vals[si] = r.power.static_mw;
       gated[si] = r.gated_routers_end;

@@ -60,6 +60,34 @@ int main(int argc, char** argv) {
   Config cfg;
   cfg.parse_args(argc, argv);
   const Cycle total = cfg.get_int("measure", 30000) + 10000;
+  const int jobs = cfg.get_int("jobs", 0);
+
+  // One pooled task per (mesh size, system) cell; each builds and drives
+  // its own network end to end.
+  const int sizes[] = {4, 8, 12, 16};
+  struct Row {
+    Result rp, gf;
+    Cycle rp_reconfig = 0;
+  };
+  std::vector<Row> rows(4);
+  parallel_run(8, jobs, [&](int i) {
+    const int k = sizes[i / 2];
+    NocParams p;
+    p.width = k;
+    p.height = k;
+    if (i % 2 == 0) {
+      // RP: Phase-I grows with the router count (route computation at the
+      // FM plus per-router table distribution) — c1 + c2 * N.
+      FabricManagerConfig fm;
+      fm.phase1_latency = 400 + 5 * k * k;
+      RpNetwork rp(p, EnergyParams{}, fm);
+      rows[i / 2].rp = drive(rp, p, /*change_at=*/20000, total, 11);
+      rows[i / 2].rp_reconfig = rp.fabric_manager().last_reconfig_duration();
+    } else {
+      FlovNetwork gf(p, FlovMode::kGeneralized, EnergyParams{});
+      rows[i / 2].gf = drive(gf, p, 20000, total, 11);
+    }
+  });
 
   print_header(
       "Scalability — one gating change mid-run, distributed gFLOV vs "
@@ -67,27 +95,13 @@ int main(int argc, char** argv) {
   std::printf("%-8s | %12s %12s %14s | %12s %12s\n", "mesh", "RP latency",
               "RP peak", "RP reconfig", "gFLOV lat", "gFLOV peak");
 
-  for (int k : {4, 8, 12, 16}) {
-    NocParams p;
-    p.width = k;
-    p.height = k;
-
-    // RP: Phase-I grows with the router count (route computation at the FM
-    // plus per-router table distribution) — c1 + c2 * N.
-    FabricManagerConfig fm;
-    fm.phase1_latency = 400 + 5 * k * k;
-    RpNetwork rp(p, EnergyParams{}, fm);
-    const Result rr = drive(rp, p, /*change_at=*/20000, total, 11);
-
-    FlovNetwork gf(p, FlovMode::kGeneralized, EnergyParams{});
-    const Result gr = drive(gf, p, 20000, total, 11);
-
+  for (int i = 0; i < 4; ++i) {
+    const int k = sizes[i];
     std::printf("%-8s | %12.2f %12.2f %14llu | %12.2f %12.2f\n",
                 (std::to_string(k) + "x" + std::to_string(k)).c_str(),
-                rr.avg_latency, rr.peak_window,
-                static_cast<unsigned long long>(
-                    rp.fabric_manager().last_reconfig_duration()),
-                gr.avg_latency, gr.peak_window);
+                rows[i].rp.avg_latency, rows[i].rp.peak_window,
+                static_cast<unsigned long long>(rows[i].rp_reconfig),
+                rows[i].gf.avg_latency, rows[i].gf.peak_window);
   }
   std::printf("\nRP's stall (and the latency spike behind it) grows with the "
               "mesh; gFLOV's distributed handshake does not.\n");

@@ -1,6 +1,6 @@
 // Shared helpers for the figure-reproduction benches: argument handling and
 // table printing. Every bench accepts "key=value" overrides, e.g.
-//   bench_fig6_uniform measure=20000 width=8 seed=3
+//   bench_fig6_uniform measure=20000 width=8 seed=3 jobs=4
 #pragma once
 
 #include <cstdio>
@@ -9,8 +9,19 @@
 
 #include "common/config.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 namespace flov::bench {
+
+/// Thread-pool width for the sweep, from `jobs=<n>` (0/default = all
+/// hardware threads; 1 = the serial reference path).
+inline SweepOptions sweep_from_args(int argc, char** argv) {
+  Config cfg;
+  cfg.parse_args(argc, argv);
+  SweepOptions opts;
+  opts.jobs = cfg.get_int("jobs", 0);
+  return opts;
+}
 
 /// Standard synthetic-experiment setup from CLI args (Table-I defaults,
 /// paper methodology: 10k warm-up, 100k total cycles).

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_sweep.json files produced by bench_micro.
+
+Usage:
+    scripts/bench_compare.py baseline.json candidate.json [--threshold 5.0]
+
+Diffs per-benchmark throughput (items/second) and per-sweep-point
+simulation throughput (cycles/second). A drop larger than the threshold
+(default 5%) is flagged as a regression and the script exits 1, so CI can
+gate on it. Speedups and new/removed entries are reported but never fail
+the comparison.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def index_benchmarks(doc):
+    return {b["name"]: b.get("items_per_second", 0.0)
+            for b in doc.get("benchmarks", [])}
+
+
+def index_sweep(doc):
+    out = {}
+    for p in doc.get("sweep", {}).get("points", []):
+        key = "%s@%.2f" % (p["scheme"], p["gated"])
+        out[key] = p.get("cycles_per_sec", 0.0)
+    return out
+
+
+def compare(kind, base, cand, threshold):
+    regressions = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print("  %-40s NEW (%.1f/s)" % (name, cand[name]))
+            continue
+        if name not in cand:
+            print("  %-40s REMOVED" % name)
+            continue
+        b, c = base[name], cand[name]
+        if b <= 0:
+            print("  %-40s baseline zero, skipped" % name)
+            continue
+        delta = 100.0 * (c - b) / b
+        marker = ""
+        if delta < -threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((kind, name, delta))
+        print("  %-40s %12.1f -> %12.1f  (%+6.1f%%)%s"
+              % (name, b, c, delta, marker))
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="regression threshold in percent (default 5)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    regressions = []
+    print("micro-benchmarks (items/second):")
+    regressions += compare("benchmark", index_benchmarks(base),
+                           index_benchmarks(cand), args.threshold)
+    print("\nsweep points (cycles/second):")
+    regressions += compare("sweep", index_sweep(base), index_sweep(cand),
+                           args.threshold)
+
+    bs = base.get("sweep", {}).get("total_wall_s")
+    cs = cand.get("sweep", {}).get("total_wall_s")
+    if bs and cs:
+        print("\nsweep wall-clock: %.3fs -> %.3fs" % (bs, cs))
+
+    if regressions:
+        print("\n%d regression(s) beyond %.1f%%:" %
+              (len(regressions), args.threshold))
+        for kind, name, delta in regressions:
+            print("  [%s] %s: %+.1f%%" % (kind, name, delta))
+        return 1
+    print("\nno regressions beyond %.1f%%" % args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

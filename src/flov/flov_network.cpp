@@ -40,8 +40,15 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
     for (NodeId id = 0; id < net_->num_nodes(); ++id) {
       for (Direction d : kMeshDirections) {
         if (auto* ch = net_->flit_channel(id, d)) {
-          ch->set_fault_hook(
-              [f = fault_.get()](const Flit& flit) { return f->flit_fate(flit); });
+          // On a drop, tell the network: the flit was counted as injected
+          // but will never eject, and the cached in-network count must not
+          // keep carrying it.
+          ch->set_fault_hook([f = fault_.get(), net = net_.get()](
+                                 const Flit& flit) -> std::optional<Cycle> {
+            const std::optional<Cycle> fate = f->flit_fate(flit);
+            if (!fate.has_value()) net->note_flit_dropped();
+            return fate;
+          });
         }
       }
     }
@@ -154,7 +161,13 @@ void FlovNetwork::handover_flow(NodeId b, Direction flow, bool waking,
   // is `b` itself (and the upstream separately re-tracks `b`).
   const NodeId tracker =
       waking ? b : nearest_pipeline(b, opposite(flow));
+  // Handover mutates credit state behind the channels' backs — re-arm every
+  // touched router so the active-set scheduler reconsiders it.
+  net_->wake_router(b);
+  if (down != kInvalidNode) net_->wake_router(down);
+  if (up != kInvalidNode) net_->wake_router(up);
   if (tracker != kInvalidNode) {
+    net_->wake_router(tracker);
     if (down != kInvalidNode) {
       std::vector<int> free =
           net_->router(down).input_free_slots(opposite(flow));
@@ -200,6 +213,7 @@ void FlovNetwork::wake_handover(NodeId w, Cycle now) {
 }
 
 void FlovNetwork::refresh_view(NodeId w) {
+  net_->wake_router(w);  // view changes can unblock held allocations
   NeighborhoodView& v = net_->router(w).view();
   const MeshGeometry& g = net_->geom();
   for (Direction d : kMeshDirections) {

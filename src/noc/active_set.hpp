@@ -1,0 +1,54 @@
+// Active-set scheduling primitives shared by Network, Channel and the NIs.
+//
+// The simulator's hot loop used to step every router and NI every cycle,
+// even the power-gated and empty ones — exactly the population FLOV
+// maximizes. Instead, each steppable component carries a liveness flag in a
+// WakeList; anything that can hand it new work (a channel send, a packet
+// enqueue, a mode switch) re-arms the flag, and Network::step skips
+// components whose flag is clear. A component may only clear its flag when
+// stepping it would be a provable no-op (see docs/PERFORMANCE.md for the
+// per-component invariants).
+//
+// FabricCounters are the incrementally maintained aggregates that replace
+// the per-cycle O(n) in_network_flits()/idle() walks; the NIs update them
+// at every injection/ejection event and Network exposes O(1) getters that
+// FLOV_DCHECK against a full recount in debug builds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flov {
+
+/// Per-component liveness flags. Marking is idempotent and cheap (one store)
+/// so producers call it unconditionally on every send.
+class WakeList {
+ public:
+  void init(int n, bool live = true) {
+    live_.assign(static_cast<std::size_t>(n), live ? 1 : 0);
+  }
+  void mark(int i) { live_[static_cast<std::size_t>(i)] = 1; }
+  void clear(int i) { live_[static_cast<std::size_t>(i)] = 0; }
+  bool live(int i) const { return live_[static_cast<std::size_t>(i)] != 0; }
+  int size() const { return static_cast<int>(live_.size()); }
+
+ private:
+  std::vector<std::uint8_t> live_;
+};
+
+/// Network-wide flit/packet aggregates, maintained by the NIs (and the
+/// fault-drop hook) instead of being recounted by walking every component.
+struct FabricCounters {
+  std::uint64_t injected_flits = 0;  ///< NI -> local channel sends
+  std::uint64_t ejected_flits = 0;   ///< NI consumptions
+  std::uint64_t dropped_flits = 0;   ///< fault-injected drops on the wire
+  std::uint64_t queued_packets = 0;  ///< descriptors waiting in NI queues
+  std::uint64_t open_streams = 0;    ///< packets mid-injection (tail unsent)
+
+  /// Flits currently inside the fabric (buffers + latches + channels).
+  std::uint64_t in_network() const {
+    return injected_flits - ejected_flits - dropped_flits;
+  }
+};
+
+}  // namespace flov

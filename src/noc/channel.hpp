@@ -14,6 +14,7 @@
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "noc/active_set.hpp"
 
 namespace flov {
 
@@ -32,8 +33,17 @@ class Channel {
   using FaultHook = std::function<std::optional<Cycle>(const T&)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  /// Active-set hook: every send re-arms the receiving component's liveness
+  /// flag so Network::step knows it has (future) work. A single store per
+  /// send; unset channels (unit tests) skip it.
+  void set_wake_target(WakeList* list, int index) {
+    wake_list_ = list;
+    wake_index_ = index;
+  }
+
   /// Enqueues an item during cycle `now`; it arrives at now + latency.
   void send(Cycle now, T item) {
+    if (wake_list_) wake_list_->mark(wake_index_);
     Cycle arrival = now + latency_;
     if (fault_hook_) {
       const std::optional<Cycle> fate = fault_hook_(item);
@@ -60,21 +70,27 @@ class Channel {
   }
 
   /// Pops every item arriving at or before `now` (credit channels can carry
-  /// several credits per cycle during relay bursts).
-  std::vector<T> recv_all(Cycle now) {
-    std::vector<T> out;
+  /// several credits per cycle during relay bursts). Returns a reference to
+  /// an internal scratch buffer that is reused across calls — no per-call
+  /// allocation on the hot path; the reference is invalidated by the next
+  /// recv_all on the same channel.
+  const std::vector<T>& recv_all(Cycle now) {
+    scratch_.clear();
     while (!queue_.empty() && queue_.front().first <= now) {
-      out.push_back(std::move(queue_.front().second));
+      scratch_.push_back(std::move(queue_.front().second));
       queue_.pop_front();
     }
-    return out;
+    return scratch_;
   }
 
   bool empty() const { return queue_.empty(); }
   std::size_t in_flight() const { return queue_.size(); }
 
   /// Drops everything in flight (used by the credit-ownership handover at
-  /// FLOV power-state transitions; see flov/ documentation).
+  /// FLOV power-state transitions; see flov/ documentation). Production
+  /// code only clears CREDIT channels: clearing a flit channel would desync
+  /// the cached in-network flit counters (tests that simulate unaccounted
+  /// loss this way must not touch the cached getters afterwards).
   void clear() { queue_.clear(); }
 
   /// Visits every in-flight item (read-only); used by the FLOV credit
@@ -87,7 +103,10 @@ class Channel {
  private:
   Cycle latency_;
   std::deque<std::pair<Cycle, T>> queue_;
+  std::vector<T> scratch_;  ///< recv_all reuse buffer (keeps its capacity)
   FaultHook fault_hook_;
+  WakeList* wake_list_ = nullptr;
+  int wake_index_ = -1;
 };
 
 }  // namespace flov

@@ -12,11 +12,15 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
   routers_.reserve(n);
   nis_.reserve(n);
   flit_out_.resize(n);
+  router_live_.init(n);
+  ni_live_.init(n);
   for (NodeId id = 0; id < n; ++id) {
     routers_.push_back(
         std::make_unique<Router>(id, geom_, params_, routing, power));
     nis_.push_back(
         std::make_unique<NetworkInterface>(id, params_, &packet_id_counter_));
+    routers_[id]->set_wake_target(&router_live_, id);
+    nis_[id]->set_fabric_hooks(&counters_, &ni_live_, id);
     flit_out_[id].fill(nullptr);
   }
 
@@ -30,7 +34,9 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
   };
 
   // Inter-router links: one flit channel and one credit back-channel per
-  // directed edge.
+  // directed edge. Every channel wakes its RECEIVER on send — the sender is
+  // already live (it just stepped), and the receiver must not stay parked
+  // while something is in flight toward it.
   for (NodeId a = 0; a < n; ++a) {
     for (Direction d : kMeshDirections) {
       const NodeId b = geom_.neighbor(a, d);
@@ -38,11 +44,13 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
       Channel<Flit>* fch = new_flit_channel(params_.link_latency);
       routers_[a]->connect_flit_out(d, fch);
       routers_[b]->connect_flit_in(opposite(d), fch);
+      fch->set_wake_target(&router_live_, b);
       flit_out_[a][dir_index(d)] = fch;
 
       Channel<Credit>* cch = new_credit_channel(1);
       routers_[b]->connect_credit_out(opposite(d), cch);
       routers_[a]->connect_credit_in(d, cch);
+      cch->set_wake_target(&router_live_, a);
     }
   }
 
@@ -51,25 +59,48 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
     Channel<Flit>* inj = new_flit_channel(1);
     nis_[id]->connect_to_router(inj);
     routers_[id]->connect_flit_in(Direction::Local, inj);
+    inj->set_wake_target(&router_live_, id);
     flit_out_[id][dir_index(Direction::Local)] = nullptr;
 
     Channel<Flit>* ej = new_flit_channel(1);
     routers_[id]->connect_flit_out(Direction::Local, ej);
     nis_[id]->connect_from_router(ej);
+    ej->set_wake_target(&ni_live_, id);
 
     Channel<Credit>* cr_up = new_credit_channel(1);
     routers_[id]->connect_credit_out(Direction::Local, cr_up);
     nis_[id]->connect_credit_from_router(cr_up);
+    cr_up->set_wake_target(&ni_live_, id);
 
     Channel<Credit>* cr_down = new_credit_channel(1);
     nis_[id]->connect_credit_to_router(cr_down);
     routers_[id]->connect_credit_in(Direction::Local, cr_down);
+    cr_down->set_wake_target(&router_live_, id);
   }
 }
 
 void Network::step(Cycle now) {
-  for (auto& r : routers_) r->step(now);
-  for (auto& ni : nis_) ni->step(now);
+  // Node-id order, same as stepping everything: the only cross-router
+  // ordering that is observable within a cycle is via shared callbacks
+  // (e.g. the wakeup-trigger dedup), and skipping a quiescent router is
+  // equivalent to stepping it (its step would be a pure no-op; its VA
+  // round-robin tick is replayed when it next runs — Router::step).
+  const int n = geom_.num_nodes();
+  for (NodeId id = 0; id < n; ++id) {
+    if (!router_live_.live(id)) continue;
+    Router& r = *routers_[id];
+    r.step(now);
+    // A quiescent router stays parked until a send/mode-switch re-arms it.
+    // Note this runs AFTER the step: anything the step produced went out
+    // through channels (marking the receivers), so clearing here is safe.
+    if (r.quiescent()) router_live_.clear(id);
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (!ni_live_.live(id)) continue;
+    NetworkInterface& ni = *nis_[id];
+    ni.step(now);
+    if (ni.quiescent()) ni_live_.clear(id);
+  }
 }
 
 void Network::set_eject_callback(
@@ -83,6 +114,41 @@ void Network::add_eject_callback(
 }
 
 std::uint64_t Network::in_network_flits() const {
+  const std::uint64_t cached = counters_.in_network();
+  FLOV_DCHECK(cached == recount_in_network_flits(),
+              "cached in-network flit count drifted from recount");
+  return cached;
+}
+
+bool Network::idle() const {
+  const bool cached = counters_.in_network() == 0 &&
+                      counters_.queued_packets == 0 &&
+                      counters_.open_streams == 0;
+  FLOV_DCHECK(cached == recount_idle(), "cached idle() drifted from recount");
+  return cached;
+}
+
+bool Network::in_flight_empty() const {
+  const bool cached =
+      counters_.in_network() == 0 && counters_.open_streams == 0;
+  FLOV_DCHECK(cached == recount_in_flight_empty(),
+              "cached in_flight_empty() drifted from recount");
+  return cached;
+}
+
+std::uint64_t Network::total_injected_flits() const {
+  return counters_.injected_flits;
+}
+
+std::uint64_t Network::total_ejected_flits() const {
+  return counters_.ejected_flits;
+}
+
+std::uint64_t Network::total_queued_packets() const {
+  return counters_.queued_packets;
+}
+
+std::uint64_t Network::recount_in_network_flits() const {
   std::uint64_t n = 0;
   for (const auto& r : routers_) {
     n += static_cast<std::uint64_t>(r->buffered_flits());
@@ -91,7 +157,7 @@ std::uint64_t Network::in_network_flits() const {
   return n;
 }
 
-bool Network::idle() const {
+bool Network::recount_idle() const {
   for (const auto& r : routers_) {
     if (!r->completely_empty()) return false;
   }
@@ -104,7 +170,7 @@ bool Network::idle() const {
   return true;
 }
 
-bool Network::in_flight_empty() const {
+bool Network::recount_in_flight_empty() const {
   for (const auto& r : routers_) {
     if (!r->completely_empty()) return false;
   }
@@ -115,24 +181,6 @@ bool Network::in_flight_empty() const {
     if (!ch->empty()) return false;
   }
   return true;
-}
-
-std::uint64_t Network::total_injected_flits() const {
-  std::uint64_t t = 0;
-  for (const auto& ni : nis_) t += ni->injected_flits();
-  return t;
-}
-
-std::uint64_t Network::total_ejected_flits() const {
-  std::uint64_t t = 0;
-  for (const auto& ni : nis_) t += ni->ejected_flits();
-  return t;
-}
-
-std::uint64_t Network::total_queued_packets() const {
-  std::uint64_t t = 0;
-  for (const auto& ni : nis_) t += ni->queued_packets();
-  return t;
 }
 
 }  // namespace flov

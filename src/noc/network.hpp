@@ -9,6 +9,7 @@
 
 #include "common/geometry.hpp"
 #include "common/types.hpp"
+#include "noc/active_set.hpp"
 #include "noc/channel.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/noc_params.hpp"
@@ -34,8 +35,24 @@ class Network {
   const NetworkInterface& ni(NodeId id) const { return *nis_[id]; }
   int num_nodes() const { return geom_.num_nodes(); }
 
-  /// Advances every router, then every NI, by one cycle.
+  /// Advances the fabric by one cycle. Active-set scheduled: routers and
+  /// NIs whose step would provably be a no-op (power-gated with empty
+  /// latches, or simply empty-handed — exactly the population FLOV
+  /// maximizes) are skipped until an event re-arms them: a flit or credit
+  /// send toward them, a packet enqueue, a mode switch, or a handshake-
+  /// driven wake_router()/wake_ni(). Iteration stays in node-id order, and
+  /// skipped VA ticks are replayed (Router::step), so results are
+  /// bit-identical to stepping every component every cycle.
   void step(Cycle now);
+
+  /// Re-arm hooks for scheme layers (FLOV credit handovers, recovery
+  /// scrubs) that mutate router/NI state without going through a channel.
+  void wake_router(NodeId id) { router_live_.mark(id); }
+  void wake_ni(NodeId id) { ni_live_.mark(id); }
+  /// Counter hook for the fault layer: a flit was dropped on the wire after
+  /// injection, so it will never reach an NI (keeps in_network_flits()
+  /// exact under flit-drop faults).
+  void note_flit_dropped() { counters_.dropped_flits++; }
 
   void enqueue(const PacketDescriptor& pkt) { nis_[pkt.src]->enqueue(pkt); }
 
@@ -49,19 +66,30 @@ class Network {
   /// Flits currently inside the fabric: router buffers + FLOV latches +
   /// every flit channel (inter-router and local). With the NI counters this
   /// closes the conservation equation injected == ejected + in_network.
+  /// O(1): incrementally maintained, FLOV_DCHECKed against the full walk.
   std::uint64_t in_network_flits() const;
 
-  /// No flits anywhere: buffers, latches, channels, NI queues/streams.
+  /// No flits anywhere: buffers, latches, channels, NI queues/streams. O(1).
   bool idle() const;
 
   /// No flits in flight (buffers/latches/channels/mid-injection streams);
   /// NI queues MAY hold packets — this is RP's drain condition, under
-  /// which queued traffic accumulates (the Fig. 10 queuing delay).
+  /// which queued traffic accumulates (the Fig. 10 queuing delay). O(1).
   bool in_flight_empty() const;
 
   std::uint64_t total_injected_flits() const;
   std::uint64_t total_ejected_flits() const;
   std::uint64_t total_queued_packets() const;
+
+  /// Ground-truth recounts by walking every component — what the O(1)
+  /// getters above are debug-checked against. The invariant verifier MUST
+  /// use these (a cached counter cannot witness its own drift).
+  std::uint64_t recount_in_network_flits() const;
+  bool recount_idle() const;
+  bool recount_in_flight_empty() const;
+
+  /// The cached aggregates (verifier drift check).
+  const FabricCounters& counters() const { return counters_; }
 
   /// The inter-router flit channel leaving `node` toward `d` (null at mesh
   /// edges). Exposed for the FLOV credit-handover and for tests.
@@ -79,6 +107,14 @@ class Network {
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   /// flit_out_[node][dir] aliases the channel owned by flit_channels_.
   std::vector<std::array<Channel<Flit>*, kNumPorts>> flit_out_;
+
+  /// Active-set state: which routers/NIs must be stepped this cycle.
+  /// Channel sends, enqueues, mode switches, and wake_*() re-arm entries;
+  /// step() clears an entry once the component proves quiescent.
+  WakeList router_live_;
+  WakeList ni_live_;
+  /// Incrementally maintained fabric aggregates (see active_set.hpp).
+  FabricCounters counters_;
 
   std::uint64_t packet_id_counter_ = 1;
 };

@@ -30,6 +30,7 @@ void NetworkInterface::eject(Cycle now) {
   if (!from_router_) return;
   while (auto f = from_router_->recv(now)) {
     ejected_flits_++;
+    if (counters_) counters_->ejected_flits++;
     // The NI consumes instantly, so the slot frees immediately.
     FLOV_CHECK(credit_to_ != nullptr, "unwired ejection credit channel");
     credit_to_->send(now, Credit{f->vc});
@@ -87,6 +88,10 @@ void NetworkInterface::inject(Cycle now) {
       vc_busy_[chosen] = true;
       streams_.emplace(chosen, s);
       queue_.pop_front();
+      if (counters_) {
+        counters_->queued_packets--;
+        counters_->open_streams++;
+      }
     }
   }
 
@@ -117,10 +122,12 @@ void NetworkInterface::inject(Cycle now) {
     credits_[v]--;
     to_router_->send(now, f);
     injected_flits_++;
+    if (counters_) counters_->injected_flits++;
     s.next_flit++;
     if (f.tail) {
       vc_busy_[v] = false;
       streams_.erase(it);
+      if (counters_) counters_->open_streams--;
     }
     rr_vc_ = (v + 1) % nvc;
     break;

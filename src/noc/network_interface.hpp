@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "noc/active_set.hpp"
 #include "noc/channel.hpp"
 #include "noc/flit.hpp"
 #include "noc/noc_params.hpp"
@@ -62,18 +63,41 @@ class NetworkInterface {
     eject_observers_.push_back(std::move(cb));
   }
 
+  /// Network-level aggregates + liveness flag (set once by the Network;
+  /// null for standalone NIs in unit tests).
+  void set_fabric_hooks(FabricCounters* counters, WakeList* wake, int index) {
+    counters_ = counters;
+    wake_ = wake;
+    wake_index_ = index;
+  }
+
   /// Queues a packet for injection.
-  void enqueue(const PacketDescriptor& pkt) { queue_.push_back(pkt); }
+  void enqueue(const PacketDescriptor& pkt) {
+    queue_.push_back(pkt);
+    if (counters_) counters_->queued_packets++;
+    if (wake_) wake_->mark(wake_index_);
+  }
 
   /// When true the NI refuses to START new packets (used by RP's Phase-I
   /// reconfiguration stall; queued packets keep their gen_cycle so the
   /// stall shows up as queuing latency, as in Fig. 10).
-  void set_injection_stalled(bool stalled) { stalled_ = stalled; }
+  void set_injection_stalled(bool stalled) {
+    stalled_ = stalled;
+    if (wake_ && !stalled) wake_->mark(wake_index_);
+  }
   bool injection_stalled() const { return stalled_; }
 
   void step(Cycle now);
 
   bool idle() const { return queue_.empty() && streams_.empty(); }
+  /// True when stepping this NI would be a no-op: nothing queued, nothing
+  /// mid-injection, and nothing (present or future) on the incoming wires.
+  /// Network::step may park a quiescent NI until something re-arms it.
+  bool quiescent() const {
+    return queue_.empty() && streams_.empty() &&
+           (!from_router_ || from_router_->empty()) &&
+           (!credit_from_ || credit_from_->empty());
+  }
   /// True while a packet is mid-injection (some flits sent, tail pending).
   bool streams_active() const { return !streams_.empty(); }
   /// Removes queued (not yet started) packets matching `pred`; returns the
@@ -84,7 +108,9 @@ class NetworkInterface {
     const std::size_t before = queue_.size();
     queue_.erase(std::remove_if(queue_.begin(), queue_.end(), pred),
                  queue_.end());
-    return before - queue_.size();
+    const std::size_t removed = before - queue_.size();
+    if (counters_) counters_->queued_packets -= removed;
+    return removed;
   }
   std::size_t queued_packets() const { return queue_.size(); }
   std::uint64_t injected_flits() const { return injected_flits_; }
@@ -121,6 +147,10 @@ class NetworkInterface {
   std::function<void(const PacketRecord&)> eject_cb_;
   std::vector<std::function<void(const PacketRecord&)>> eject_observers_;
   bool stalled_ = false;
+
+  FabricCounters* counters_ = nullptr;  ///< network aggregates (may be null)
+  WakeList* wake_ = nullptr;
+  int wake_index_ = -1;
 
   std::uint64_t injected_flits_ = 0;
   std::uint64_t ejected_flits_ = 0;

@@ -69,6 +69,17 @@ void Router::step(Cycle now) {
     return;
   }
 
+  // Replay the VA round-robin ticks of pipeline cycles skipped by the
+  // active-set scheduler, so allocation priority is bit-identical to the
+  // always-stepped schedule (skipped cycles had nothing in kWaitVc, so the
+  // tick was their only observable effect).
+  if (now > va_tick_from_) {
+    const int total = kNumPorts * params_.total_vcs();
+    va_rotate_ = static_cast<int>(
+        (va_rotate_ + (now - va_tick_from_)) % static_cast<Cycle>(total));
+  }
+  va_tick_from_ = now + 1;
+
   accept_flits(now);
   do_switch_traversal(now);
   do_timeout_checks(now);
@@ -130,6 +141,7 @@ void Router::accept_flits(Cycle now) {
         vc.wait_since = now;
       }
       vc.buffer.push_back(*f);
+      resident_flits_++;
       count(EnergyEvent::kBufferWrite);
       if (p == dir_index(Direction::Local)) last_local_activity_ = now;
     }
@@ -142,6 +154,7 @@ void Router::forward_latches(Cycle now) {
     if (!l.flit.has_value() || l.write_cycle >= now) continue;
     Flit f = *l.flit;
     l.flit.reset();
+    resident_flits_--;
     if (f.head) {
       f.flov_hops++;
       f.link_hops++;
@@ -191,6 +204,7 @@ void Router::accept_flits_bypass(Cycle now) {
                  "FLOV latch overrun at router " + std::to_string(id_));
       l.flit = *f;
       l.write_cycle = now;
+      resident_flits_++;
     }
   }
   auto* local = in_flit_[dir_index(Direction::Local)];
@@ -207,6 +221,7 @@ void Router::do_switch_traversal(Cycle now) {
                "stale switch grant");
     Flit f = vc.buffer.front();
     vc.buffer.pop_front();
+    resident_flits_--;
 
     const int outp = dir_index(vc.out_dir);
     auto& ovc = output_[outp].vcs[vc.out_vc];
@@ -495,8 +510,13 @@ void Router::set_mode(RouterMode m, Cycle now) {
       output_[p].init(params_.total_vcs(), params_.buffer_depth);
     }
     last_local_activity_ = now;
+    // VA ticks resume at the next step; gated cycles never ticked.
+    va_tick_from_ = now + 1;
   }
   mode_ = m;
+  // Any mode switch re-arms the router: the new datapath must observe its
+  // wires at least once (e.g. a parked router voiding stale credits).
+  if (wake_) wake_->mark(wake_index_);
   if (power_) {
     const RouterPowerMode pm = m == RouterMode::kPipeline
                                    ? RouterPowerMode::kOn
@@ -541,10 +561,19 @@ bool Router::bypass_quiet() const {
 }
 
 bool Router::completely_empty() const {
-  return input_buffers_empty() && latches_empty() && pending_st_.empty();
+  FLOV_DCHECK(resident_flits_ == recount_resident_flits(),
+              "resident flit counter drifted at router " + std::to_string(id_));
+  return resident_flits_ == 0 && pending_st_.empty();
 }
 
 int Router::buffered_flits() const {
+  const int n = recount_resident_flits();
+  FLOV_DCHECK(resident_flits_ == n, "resident flit counter drifted at router " +
+                                        std::to_string(id_));
+  return n;
+}
+
+int Router::recount_resident_flits() const {
   int n = 0;
   for (int p = 0; p < kNumPorts; ++p) {
     for (const auto& vc : input_[p].vcs) n += vc.occupancy();

@@ -21,6 +21,7 @@
 
 #include "common/geometry.hpp"
 #include "common/types.hpp"
+#include "noc/active_set.hpp"
 #include "noc/arbiter.hpp"
 #include "noc/channel.hpp"
 #include "noc/flit.hpp"
@@ -61,6 +62,29 @@ class Router {
   /// One clock edge. Safe to call routers in any order: all inter-router
   /// channels have latency >= 1.
   void step(Cycle now);
+
+  /// Active-set hook: re-arms this router's liveness flag on mode changes
+  /// (set once by the Network; null in router unit tests).
+  void set_wake_target(WakeList* list, int index) {
+    wake_ = list;
+    wake_index_ = index;
+  }
+
+  /// True when stepping this router would be a no-op: no resident flits
+  /// (input buffers or FLOV latches), no pending switch grants, and nothing
+  /// in flight on any incoming flit/credit wire. Time-dependent work
+  /// (pipeline stages, deadlock timeouts) always has a buffered flit behind
+  /// it, so a quiescent router may be skipped until a send re-arms it; the
+  /// skipped VA round-robin ticks are replayed on the next pipeline step
+  /// (see step()), keeping results bit-identical to stepping every cycle.
+  bool quiescent() const {
+    if (resident_flits_ != 0 || !pending_st_.empty()) return false;
+    for (int p = 0; p < kNumPorts; ++p) {
+      if (in_flit_[p] && !in_flit_[p]->empty()) return false;
+      if (credit_in_[p] && !credit_in_[p]->empty()) return false;
+    }
+    return true;
+  }
 
   /// Switches the datapath mode; performs the associated state hygiene
   /// (asserts drained buffers, resets allocation state, informs the power
@@ -125,7 +149,8 @@ class Router {
   }
   std::uint64_t flits_traversed() const { return flits_traversed_; }
   /// Flits resident in this router right now (input VC buffers + FLOV
-  /// latches); used by the verifier's conservation sum.
+  /// latches); used by the verifier's conservation sum. Always a full
+  /// ground-truth recount (the verifier must not trust cached counters).
   int buffered_flits() const;
   /// Self-destined flits captured to the NI while gated (faults only).
   std::uint64_t self_captures() const { return self_captures_; }
@@ -155,6 +180,9 @@ class Router {
   void do_vc_allocation(Cycle now);
   void do_switch_allocation(Cycle now);
   void do_route_computation(Cycle now);
+
+  /// Full walk over input VCs and latches (debug cross-check + verifier).
+  int recount_resident_flits() const;
 
   /// Distance from this router to `n` along direction `d` if `n` lies
   /// exactly along that axis; -1 otherwise.
@@ -191,6 +219,16 @@ class Router {
   int va_rotate_ = 0;
 
   std::function<void(NodeId)> wakeup_cb_;
+  WakeList* wake_ = nullptr;
+  int wake_index_ = -1;
+  /// Flits resident right now (input VC buffers + FLOV latches), maintained
+  /// incrementally; completely_empty()/quiescent() read it instead of
+  /// walking every VC. FLOV_DCHECKed against buffered_flits() in debug.
+  int resident_flits_ = 0;
+  /// First cycle whose VA round-robin tick has not been applied yet; lets
+  /// step() replay the ticks of skipped idle cycles so allocation order is
+  /// identical to stepping every cycle. Only pipeline-mode cycles tick.
+  Cycle va_tick_from_ = 0;
   Cycle last_local_activity_ = 0;
   /// Worms mid-flight on the bypass path: +1 when a head (of a multi-flit
   /// packet) arrives in bypass mode, -1 when its tail does.

@@ -1,0 +1,78 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace flov {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_run(int n, int jobs, const std::function<void(int)>& fn) {
+  FLOV_CHECK(n >= 0, "parallel_run with negative point count");
+  if (n == 0) return;
+  jobs = resolve_jobs(jobs);
+  if (jobs == 1 || n == 1) {
+    // Serial reference path: same thread, same order, no pool machinery.
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (jobs > n) jobs = n;
+
+  std::atomic<int> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  int first_error_index = n;
+
+  auto worker = [&] {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        // Keep going (other points are independent) but remember the
+        // failure with the smallest index, so which error surfaces does
+        // not depend on thread timing.
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult> run_sweep(
+    const std::vector<SyntheticExperimentConfig>& points,
+    const SweepOptions& opts) {
+  std::vector<RunResult> results(points.size());
+  const int n = static_cast<int>(points.size());
+  std::mutex progress_mu;
+  std::atomic<int> done{0};
+  parallel_run(n, opts.jobs, [&](int i) {
+    results[static_cast<std::size_t>(i)] = run_synthetic(points[static_cast<std::size_t>(i)]);
+    const int d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (opts.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      opts.progress(d, n);
+    }
+  });
+  return results;
+}
+
+}  // namespace flov

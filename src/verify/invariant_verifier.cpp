@@ -84,15 +84,36 @@ void InvariantVerifier::final_check(Cycle now) {
 }
 
 void InvariantVerifier::check_conservation(Cycle now) {
-  const std::uint64_t injected = net_.total_injected_flits();
-  const std::uint64_t ejected = net_.total_ejected_flits();
-  const std::uint64_t inside = net_.in_network_flits();
+  // Ground truth only: per-NI counters summed directly and a full component
+  // walk for the in-flight population. The network's O(1) cached aggregates
+  // must NOT be used here — a cache that drifted would make the equation
+  // tautologically true (the cache IS injected - ejected - dropped).
+  std::uint64_t injected = 0, ejected = 0;
+  for (NodeId id = 0; id < net_.num_nodes(); ++id) {
+    injected += net_.ni(id).injected_flits();
+    ejected += net_.ni(id).ejected_flits();
+  }
+  const std::uint64_t inside = net_.recount_in_network_flits();
   const std::uint64_t dropped = fault_ ? fault_->dropped_flits() : 0;
   if (injected != ejected + inside + dropped) {
     std::ostringstream os;
     os << "flit conservation broken: injected=" << injected
        << " ejected=" << ejected << " in_network=" << inside
        << " fault_dropped=" << dropped;
+    violation(now, os.str());
+    return;  // a cache-drift report would just restate the same loss
+  }
+  // Conservation holds on ground truth; now hold the cached aggregates the
+  // active-set scheduler runs on to the same standard.
+  const FabricCounters& c = net_.counters();
+  if (c.injected_flits != injected || c.ejected_flits != ejected ||
+      c.dropped_flits != dropped || c.in_network() != inside) {
+    std::ostringstream os;
+    os << "cached fabric counters drifted: cached injected="
+       << c.injected_flits << "/" << injected << " ejected="
+       << c.ejected_flits << "/" << ejected << " dropped="
+       << c.dropped_flits << "/" << dropped << " in_network="
+       << c.in_network() << "/" << inside;
     violation(now, os.str());
   }
 }
