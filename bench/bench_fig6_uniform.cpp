@@ -9,7 +9,9 @@
 namespace {
 
 void run_figure(flov::SyntheticExperimentConfig ex, const char* figure,
-                flov::bench::CsvSink* csv, const flov::SweepOptions& sweep) {
+                flov::bench::CsvSink* csv, const flov::SweepOptions& sweep,
+                std::vector<flov::SyntheticExperimentConfig>* all_points,
+                std::vector<flov::RunResult>* all_results) {
   using namespace flov;
   using namespace flov::bench;
   for (double inj : {0.02, 0.08}) {
@@ -26,6 +28,9 @@ void run_figure(flov::SyntheticExperimentConfig ex, const char* figure,
       }
     }
     const std::vector<RunResult> sweep_results = run_sweep(points, sweep);
+    all_points->insert(all_points->end(), points.begin(), points.end());
+    all_results->insert(all_results->end(), sweep_results.begin(),
+                        sweep_results.end());
     std::map<std::pair<int, int>, RunResult> results;
     for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
       for (int si = 0; si < 4; ++si) {
@@ -77,6 +82,11 @@ int main(int argc, char** argv) {
       flov::bench::synthetic_from_args(argc, argv);
   ex.pattern = "uniform";
   flov::bench::CsvSink csv(argc, argv, flov::bench::kCsvHeader);
-  run_figure(ex, "fig6", &csv, flov::bench::sweep_from_args(argc, argv));
+  flov::bench::ManifestSink manifest(argc, argv, "fig6");
+  const flov::SweepOptions sweep = flov::bench::sweep_from_args(argc, argv);
+  std::vector<flov::SyntheticExperimentConfig> points;
+  std::vector<flov::RunResult> results;
+  run_figure(ex, "fig6", &csv, sweep, &points, &results);
+  manifest.write(points, results, sweep);
   return 0;
 }

@@ -3,6 +3,7 @@
 //   bench_fig6_uniform measure=20000 width=8 seed=3 jobs=4
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/config.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace flov::bench {
 
@@ -34,6 +36,7 @@ inline SyntheticExperimentConfig synthetic_from_args(int argc, char** argv) {
   ex.warmup = cfg.get_int("warmup", 10000);
   ex.measure = cfg.get_int("measure", 90000);
   ex.seed = cfg.get_int("seed", 1);
+  ex.telemetry = telemetry::TelemetryOptions::from_config(cfg);
   return ex;
 }
 
@@ -76,6 +79,65 @@ class CsvSink {
 
  private:
   std::FILE* file_ = nullptr;
+};
+
+/// Optional manifest sink: pass manifest=<path> to a figure bench to write
+/// a flyover-sweep-manifest-v1 JSON artifact covering the whole sweep —
+/// resolved config, per-point metric registries, the deterministic merged
+/// registry, and all structured incidents in submission order. The CI
+/// determinism gate diffs these between jobs=1 and jobs=4 runs.
+class ManifestSink {
+ public:
+  ManifestSink(int argc, char** argv, const char* bench_name)
+      : name_(bench_name), start_(std::chrono::steady_clock::now()) {
+    cfg_.parse_args(argc, argv);
+    path_ = cfg_.get_string("manifest", "");
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Writes the manifest; call once after run_sweep. `points` and `results`
+  /// must be index-aligned (run_sweep keeps submission order). No-op
+  /// without manifest=<path>.
+  void write(const std::vector<SyntheticExperimentConfig>& points,
+             const std::vector<RunResult>& results, const SweepOptions& opts) {
+    if (!enabled()) return;
+    telemetry::SweepManifest m;
+    m.name = name_;
+    m.config = cfg_;
+    m.jobs = opts.jobs;
+    m.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    telemetry::MetricsRegistry merged = merge_sweep_metrics(results);
+    m.merged = &merged;
+    telemetry::StructuredSink incidents;
+    for (std::size_t i = 0; i < results.size() && i < points.size(); ++i) {
+      telemetry::SweepPointEntry e;
+      e.scheme = results[i].scheme;
+      e.pattern = points[i].pattern;
+      e.inj_rate = points[i].inj_rate_flits;
+      e.gated_fraction = points[i].gated_fraction;
+      e.seed = points[i].seed;
+      e.metrics = results[i].metrics.get();
+      m.points.push_back(e);
+      if (results[i].incidents) {
+        for (const std::string& rec : results[i].incidents->records()) {
+          incidents.add(rec);
+        }
+      }
+    }
+    m.incidents = &incidents;
+    m.write(path_);
+    std::printf("manifest written to %s\n", path_.c_str());
+  }
+
+ private:
+  Config cfg_;
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Appends the standard per-run CSV fields for a synthetic sweep row.

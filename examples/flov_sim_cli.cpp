@@ -8,12 +8,18 @@
 //                timeline=1000 seed=3
 //
 // Any NocParams ("noc.*"), EnergyParams ("energy.*"), FaultParams
-// ("fault.*") or VerifierOptions ("verify.*") key is accepted.
+// ("fault.*"), VerifierOptions ("verify.*") or telemetry ("telemetry.*")
+// key is accepted. Telemetry outputs:
+//   telemetry.trace=all trace_out=run.trace.json   Perfetto-loadable trace
+//   manifest=run.json                              flyover-run-manifest-v1
+//   incidents_out=run.incidents.json               standalone incident log
+#include <chrono>
 #include <cstdio>
 
 #include "common/config.hpp"
 #include "fault/fault_model.hpp"
 #include "sim/experiment.hpp"
+#include "telemetry/manifest.hpp"
 
 int main(int argc, char** argv) {
   using namespace flov;
@@ -34,6 +40,13 @@ int main(int argc, char** argv) {
   ex.faults = FaultParams::from_config(cfg);
   ex.verifier = VerifierOptions::from_config(cfg);
   ex.verify = cfg.get_bool("verify", ex.verify);
+  ex.telemetry = telemetry::TelemetryOptions::from_config(cfg);
+  const std::string trace_out = cfg.get_string("trace_out", "");
+  const std::string manifest_out = cfg.get_string("manifest", "");
+  const std::string incidents_out = cfg.get_string("incidents_out", "");
+  if (!trace_out.empty() && ex.telemetry.trace_mask == 0) {
+    ex.telemetry.trace_mask = telemetry::kTraceAll;  // implied by trace_out=
+  }
   if (cfg.has("changes")) {
     // comma-separated gating change points, e.g. changes=50000,60000
     const std::string s = cfg.get_string("changes");
@@ -54,7 +67,12 @@ int main(int argc, char** argv) {
               100 * ex.gated_fraction,
               static_cast<unsigned long long>(ex.seed));
 
+  const auto wall_start = std::chrono::steady_clock::now();
   const RunResult r = run_synthetic(ex);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   std::printf("\npackets measured      : %llu (generated %llu)\n",
               static_cast<unsigned long long>(r.packets_measured),
@@ -107,6 +125,38 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(p.window_start), p.mean,
                   static_cast<unsigned long long>(p.count));
     }
+  }
+
+  if (!trace_out.empty()) {
+    if (r.trace) {
+      r.trace->write_chrome_trace(trace_out);
+      std::printf("\ntrace: %llu events -> %s (%llu overwritten)\n",
+                  static_cast<unsigned long long>(r.trace->size()),
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(r.trace->overwritten()));
+    } else {
+      std::printf("\ntrace: not recorded (build has FLYOVER_TRACING off "
+                  "or telemetry.trace empty)\n");
+    }
+  }
+  if (!incidents_out.empty() && r.incidents) {
+    r.incidents->write(incidents_out);
+    std::printf("incidents: %llu -> %s\n",
+                static_cast<unsigned long long>(r.incidents->size()),
+                incidents_out.c_str());
+  }
+  if (!manifest_out.empty()) {
+    telemetry::RunManifest m;
+    m.name = "flov_sim_cli";
+    m.scheme = r.scheme;
+    m.config = cfg;
+    m.seed = ex.seed;
+    m.wall_seconds = wall_seconds;
+    m.trace_path = trace_out;
+    m.metrics = r.metrics.get();
+    m.incidents = r.incidents.get();
+    m.write(manifest_out);
+    std::printf("manifest: %s\n", manifest_out.c_str());
   }
   return 0;
 }

@@ -1,14 +1,27 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_sweep.json files produced by bench_micro.
+"""Compare two benchmark/metric JSON documents.
 
 Usage:
     scripts/bench_compare.py baseline.json candidate.json [--threshold 5.0]
+                             [--allow-missing]
 
-Diffs per-benchmark throughput (items/second) and per-sweep-point
-simulation throughput (cycles/second). A drop larger than the threshold
-(default 5%) is flagged as a regression and the script exits 1, so CI can
-gate on it. Speedups and new/removed entries are reported but never fail
-the comparison.
+Accepts two input formats, auto-detected per file:
+  * BENCH_sweep.json from bench_micro: per-benchmark throughput
+    (items/second) and per-sweep-point simulation throughput
+    (cycles/second);
+  * flyover-run-manifest-v1 / flyover-sweep-manifest-v1 documents from
+    flov_sim_cli / the figure benches (the "schema" field marks these):
+    the embedded metrics registry is flattened to name -> value
+    (counters and gauges verbatim, stats as <name>.mean).
+
+A throughput drop larger than the threshold (default 5%) is flagged as a
+regression and the script exits 1, so CI can gate on it.
+
+Metric keys present in only ONE input are a hard failure: a silently
+dropped (or renamed) counter is exactly the kind of regression a metrics
+layer exists to catch, so NEW/REMOVED keys exit 1 with the offending
+names listed. Pass --allow-missing when comparing across an intentional
+schema change.
 """
 import argparse
 import json
@@ -18,6 +31,11 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def is_manifest(doc):
+    return str(doc.get("schema", "")).startswith(
+        ("flyover-run-manifest", "flyover-sweep-manifest"))
 
 
 def index_benchmarks(doc):
@@ -33,52 +51,112 @@ def index_sweep(doc):
     return out
 
 
-def compare(kind, base, cand, threshold):
+def flatten_registry(reg):
+    """Metrics-registry JSON -> flat {name: value} (mirrors the C++
+    MetricsRegistry::snapshot())."""
+    out = {}
+    if not reg:
+        return out
+    for name, v in reg.get("counters", {}).items():
+        out[name] = float(v)
+    for name, v in reg.get("gauges", {}).items():
+        out[name] = float(v)
+    for name, st in reg.get("stats", {}).items():
+        out[name + ".mean"] = float(st.get("mean", 0.0))
+        out[name + ".count"] = float(st.get("count", 0))
+    return out
+
+
+def index_manifest(doc):
+    reg = doc.get("merged_metrics") or doc.get("metrics")
+    return flatten_registry(reg)
+
+
+def compare(kind, base, cand, threshold, missing):
+    """Prints the per-key diff; returns throughput regressions and appends
+    keys present in only one input to `missing`."""
     regressions = []
     for name in sorted(set(base) | set(cand)):
         if name not in base:
-            print("  %-40s NEW (%.1f/s)" % (name, cand[name]))
+            print("  %-40s NEW (%.6g)" % (name, cand[name]))
+            missing.append((kind, name, "only in candidate"))
             continue
         if name not in cand:
             print("  %-40s REMOVED" % name)
+            missing.append((kind, name, "only in baseline"))
             continue
         b, c = base[name], cand[name]
-        if b <= 0:
-            print("  %-40s baseline zero, skipped" % name)
+        if b == 0:
+            mark = "" if c == 0 else "  (baseline zero)"
+            print("  %-40s %12.6g -> %12.6g%s" % (name, b, c, mark))
             continue
         delta = 100.0 * (c - b) / b
         marker = ""
-        if delta < -threshold:
+        # Only throughput-style sections treat a drop as a regression;
+        # manifest metrics are value diffs (direction is metric-specific).
+        if kind in ("benchmark", "sweep") and delta < -threshold:
             marker = "  <-- REGRESSION"
             regressions.append((kind, name, delta))
-        print("  %-40s %12.1f -> %12.1f  (%+6.1f%%)%s"
+        print("  %-40s %12.6g -> %12.6g  (%+6.1f%%)%s"
               % (name, b, c, delta, marker))
     return regressions
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("baseline")
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=5.0,
                     help="regression threshold in percent (default 5)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="tolerate metric keys present in only one input "
+                         "(use across intentional schema changes)")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cand = load(args.candidate)
 
     regressions = []
-    print("micro-benchmarks (items/second):")
-    regressions += compare("benchmark", index_benchmarks(base),
-                           index_benchmarks(cand), args.threshold)
-    print("\nsweep points (cycles/second):")
-    regressions += compare("sweep", index_sweep(base), index_sweep(cand),
-                           args.threshold)
+    missing = []
+    if is_manifest(base) or is_manifest(cand):
+        if is_manifest(base) != is_manifest(cand):
+            print("error: cannot compare a manifest against a "
+                  "bench_micro document (%s vs %s)"
+                  % (args.baseline, args.candidate))
+            return 1
+        print("manifest metrics (%s vs %s):"
+              % (base.get("name", "?"), cand.get("name", "?")))
+        regressions += compare("metric", index_manifest(base),
+                               index_manifest(cand), args.threshold, missing)
+    else:
+        print("micro-benchmarks (items/second):")
+        regressions += compare("benchmark", index_benchmarks(base),
+                               index_benchmarks(cand), args.threshold,
+                               missing)
+        print("\nsweep points (cycles/second):")
+        regressions += compare("sweep", index_sweep(base), index_sweep(cand),
+                               args.threshold, missing)
 
-    bs = base.get("sweep", {}).get("total_wall_s")
-    cs = cand.get("sweep", {}).get("total_wall_s")
-    if bs and cs:
-        print("\nsweep wall-clock: %.3fs -> %.3fs" % (bs, cs))
+        bs = base.get("sweep", {}).get("total_wall_s")
+        cs = cand.get("sweep", {}).get("total_wall_s")
+        if bs and cs:
+            print("\nsweep wall-clock: %.3fs -> %.3fs" % (bs, cs))
+
+    status = 0
+    if missing:
+        print("\n%d key(s) present in only one input:" % len(missing))
+        for kind, name, where in missing:
+            print("  [%s] %s (%s)" % (kind, name, where))
+        if args.allow_missing:
+            print("tolerated (--allow-missing)")
+        else:
+            print("this is a hard failure: a dropped or renamed metric key "
+                  "silently breaks every downstream consumer.\n"
+                  "re-run with --allow-missing if the schema change is "
+                  "intentional.")
+            status = 1
 
     if regressions:
         print("\n%d regression(s) beyond %.1f%%:" %
@@ -86,8 +164,9 @@ def main():
         for kind, name, delta in regressions:
             print("  [%s] %s: %+.1f%%" % (kind, name, delta))
         return 1
-    print("\nno regressions beyond %.1f%%" % args.threshold)
-    return 0
+    if status == 0:
+        print("\nno regressions beyond %.1f%%" % args.threshold)
+    return status
 
 
 if __name__ == "__main__":

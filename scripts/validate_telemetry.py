@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate Fly-Over telemetry artifacts (CI gate + local tooling).
+
+Usage:
+    scripts/validate_telemetry.py --trace run.trace.json
+    scripts/validate_telemetry.py --manifest run.json
+    scripts/validate_telemetry.py --diff-manifests serial.json parallel.json
+
+--trace: checks the file is a Chrome-trace-event document Perfetto will
+load: an object with a "traceEvents" array whose entries carry the
+required ph/ts/pid/tid/name fields, instant events have cat + args, and
+async begin/end pairs balance per (cat, id).
+
+--manifest: checks a flyover-run-manifest-v1 / flyover-sweep-manifest-v1
+document has its required fields and a well-formed embedded metrics
+registry.
+
+--diff-manifests: strips the VOLATILE fields (wall_seconds, jobs,
+trace_path — the only fields allowed to differ between a serial and a
+parallel sweep of the same configuration) recursively from both
+documents, then compares byte-for-byte. Exit 1 on any other difference:
+this is the sweep-determinism gate.
+"""
+import argparse
+import json
+import sys
+
+VOLATILE_KEYS = {"wall_seconds", "jobs", "trace_path"}
+
+RUN_SCHEMA = "flyover-run-manifest-v1"
+SWEEP_SCHEMA = "flyover-sweep-manifest-v1"
+
+
+def fail(msg):
+    print("validate_telemetry: FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail("%s: %s" % (path, e))
+
+
+def validate_trace(path):
+    doc = load(path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("%s: not a Chrome-trace object (no traceEvents)" % path)
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("%s: traceEvents is not an array" % path)
+    open_async = {}
+    instants = 0
+    spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail("%s: traceEvents[%d] is not an object" % (path, i))
+        for field in ("ph", "ts", "pid", "tid", "name"):
+            if field not in ev:
+                fail("%s: traceEvents[%d] missing %r" % (path, i, field))
+        ph = ev["ph"]
+        if ph == "i":
+            instants += 1
+            if "cat" not in ev:
+                fail("%s: instant event [%d] missing cat" % (path, i))
+            if not isinstance(ev.get("args", {}), dict):
+                fail("%s: instant event [%d] args not an object" % (path, i))
+        elif ph in ("b", "e"):
+            spans += 1
+            key = (ev.get("cat"), ev.get("id"))
+            open_async[key] = open_async.get(key, 0) + (1 if ph == "b" else -1)
+        elif ph not in ("M",):
+            fail("%s: traceEvents[%d] has unknown ph %r" % (path, i, ph))
+    dangling = {k: v for k, v in open_async.items() if v != 0}
+    if dangling:
+        # Unbalanced spans are expected, not an error: episodes still open
+        # when the run ended have no end event, and the ring may have
+        # evicted a begin while its end survived.
+        print("  note: %d async span track(s) unbalanced (episodes open at "
+              "end of run or ring eviction)" % len(dangling))
+    print("OK: %s: %d instant events, %d async span events"
+          % (path, instants, spans))
+
+
+def validate_registry(reg, where):
+    if reg is None:
+        return
+    if not isinstance(reg, dict):
+        fail("%s: metrics registry is not an object" % where)
+    for section in ("counters", "gauges", "stats", "histograms", "series"):
+        if section not in reg:
+            fail("%s: metrics registry missing %r" % (where, section))
+        if not isinstance(reg[section], dict):
+            fail("%s: metrics registry %r is not an object"
+                 % (where, section))
+    for name, st in reg["stats"].items():
+        for field in ("count", "mean", "min", "max", "stddev"):
+            if field not in st:
+                fail("%s: stat %r missing %r" % (where, name, field))
+    for name, h in reg["histograms"].items():
+        for field in ("lo", "hi", "count", "clamped_low", "clamped_high",
+                      "bins"):
+            if field not in h:
+                fail("%s: histogram %r missing %r" % (where, name, field))
+
+
+def validate_manifest(path):
+    doc = load(path)
+    schema = doc.get("schema")
+    if schema == RUN_SCHEMA:
+        required = ("name", "scheme", "git_describe", "seed", "config",
+                    "wall_seconds", "trace_path", "metrics", "incidents")
+    elif schema == SWEEP_SCHEMA:
+        required = ("name", "git_describe", "config", "jobs", "wall_seconds",
+                    "points", "merged_metrics", "incidents")
+    else:
+        fail("%s: unknown schema %r" % (path, schema))
+    for field in required:
+        if field not in doc:
+            fail("%s: missing field %r" % (path, field))
+    if not isinstance(doc["incidents"], list):
+        fail("%s: incidents is not an array" % path)
+    if schema == RUN_SCHEMA:
+        validate_registry(doc["metrics"], path)
+        n_points = None
+    else:
+        validate_registry(doc["merged_metrics"], "%s merged" % path)
+        if not isinstance(doc["points"], list):
+            fail("%s: points is not an array" % path)
+        for i, p in enumerate(doc["points"]):
+            for field in ("scheme", "pattern", "inj", "gated", "seed",
+                          "metrics"):
+                if field not in p:
+                    fail("%s: points[%d] missing %r" % (path, i, field))
+            validate_registry(p["metrics"], "%s points[%d]" % (path, i))
+        n_points = len(doc["points"])
+    extra = "" if n_points is None else ", %d points" % n_points
+    print("OK: %s: %s%s, %d incident(s)"
+          % (path, schema, extra, len(doc["incidents"])))
+
+
+def strip_volatile(node):
+    if isinstance(node, dict):
+        return {k: strip_volatile(v) for k, v in node.items()
+                if k not in VOLATILE_KEYS}
+    if isinstance(node, list):
+        return [strip_volatile(v) for v in node]
+    return node
+
+
+def diff_manifests(path_a, path_b):
+    a = strip_volatile(load(path_a))
+    b = strip_volatile(load(path_b))
+    # Byte-compare a canonical re-serialization: the writer itself is
+    # deterministic, but stripping keys changes comma placement, so the
+    # comparison re-renders both sides identically.
+    sa = json.dumps(a, sort_keys=True, separators=(",", ":"))
+    sb = json.dumps(b, sort_keys=True, separators=(",", ":"))
+    if sa == sb:
+        print("OK: %s == %s (modulo volatile fields %s)"
+              % (path_a, path_b, sorted(VOLATILE_KEYS)))
+        return
+    # Locate the first differing path for a useful CI message.
+    def first_diff(x, y, path="$"):
+        if type(x) is not type(y):
+            return path, "type %s vs %s" % (type(x).__name__,
+                                            type(y).__name__)
+        if isinstance(x, dict):
+            for k in sorted(set(x) | set(y)):
+                if k not in x:
+                    return "%s.%s" % (path, k), "only in second"
+                if k not in y:
+                    return "%s.%s" % (path, k), "only in first"
+                d = first_diff(x[k], y[k], "%s.%s" % (path, k))
+                if d:
+                    return d
+            return None
+        if isinstance(x, list):
+            if len(x) != len(y):
+                return path, "length %d vs %d" % (len(x), len(y))
+            for i, (xi, yi) in enumerate(zip(x, y)):
+                d = first_diff(xi, yi, "%s[%d]" % (path, i))
+                if d:
+                    return d
+            return None
+        if x != y:
+            return path, "%r vs %r" % (x, y)
+        return None
+
+    where, what = first_diff(a, b)
+    fail("manifests differ beyond volatile fields at %s: %s\n"
+         "  first:  %s\n  second: %s" % (where, what, path_a, path_b))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--trace", metavar="FILE",
+                    help="validate a Chrome-trace-event JSON file")
+    ap.add_argument("--manifest", metavar="FILE",
+                    help="validate a run/sweep manifest")
+    ap.add_argument("--diff-manifests", nargs=2, metavar=("A", "B"),
+                    help="compare two manifests modulo volatile fields")
+    args = ap.parse_args()
+
+    if not (args.trace or args.manifest or args.diff_manifests):
+        ap.error("nothing to do: pass --trace, --manifest and/or "
+                 "--diff-manifests")
+    if args.trace:
+        validate_trace(args.trace)
+    if args.manifest:
+        validate_manifest(args.manifest)
+    if args.diff_manifests:
+        diff_manifests(*args.diff_manifests)
+
+
+if __name__ == "__main__":
+    main()

@@ -54,7 +54,13 @@ Histogram::Histogram(double lo, double hi, int bins)
 
 void Histogram::add(double x) {
   int idx = static_cast<int>((x - lo_) / width_);
-  idx = std::clamp(idx, 0, static_cast<int>(bins_.size()) - 1);
+  if (idx < 0) {
+    idx = 0;
+    ++clamped_low_;
+  } else if (idx >= static_cast<int>(bins_.size())) {
+    idx = static_cast<int>(bins_.size()) - 1;
+    ++clamped_high_;
+  }
   ++bins_[idx];
   ++total_;
 }
@@ -62,6 +68,18 @@ void Histogram::add(double x) {
 void Histogram::reset() {
   std::fill(bins_.begin(), bins_.end(), 0);
   total_ = 0;
+  clamped_low_ = 0;
+  clamped_high_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  FLOV_CHECK(bins_.size() == other.bins_.size() && lo_ == other.lo_ &&
+                 hi_ == other.hi_,
+             "merging histograms with different bounds");
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
+  clamped_low_ += other.clamped_low_;
+  clamped_high_ += other.clamped_high_;
 }
 
 double Histogram::percentile(double p) const {
@@ -100,6 +118,20 @@ void TimeSeries::add(Cycle when, double value) {
       [](const auto& b, std::uint64_t i) { return b.first < i; });
   pos = buckets_.insert(pos, {idx, StatAccumulator{}});
   pos->second.add(value);
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+  FLOV_CHECK(window_ == other.window_,
+             "merging time series with different windows");
+  for (const auto& [idx, acc] : other.buckets_) {
+    auto pos = std::lower_bound(
+        buckets_.begin(), buckets_.end(), idx,
+        [](const auto& b, std::uint64_t i) { return b.first < i; });
+    if (pos == buckets_.end() || pos->first != idx) {
+      pos = buckets_.insert(pos, {idx, StatAccumulator{}});
+    }
+    pos->second.merge(acc);
+  }
 }
 
 std::vector<TimeSeries::Point> TimeSeries::points() const {

@@ -38,18 +38,30 @@ class StatAccumulator {
 };
 
 /// Histogram with uniform bins over [lo, hi); out-of-range samples are
-/// clamped into the first/last bin. Percentiles are linear within a bin.
+/// clamped into the first/last bin AND counted (clamped_low/clamped_high),
+/// so saturation is visible instead of silent — a p99 read off a histogram
+/// with a non-zero clamped_high() is a lower bound, not an estimate.
+/// Percentiles are linear within a bin.
 class Histogram {
  public:
   Histogram(double lo, double hi, int bins);
 
   void add(double x);
   void reset();
+  /// Folds `other` (which must have identical bounds/bin count) into this.
+  void merge(const Histogram& other);
 
   std::uint64_t count() const { return total_; }
   double percentile(double p) const;  // p in [0, 100]
   const std::vector<std::uint64_t>& bins() const { return bins_; }
   double bin_low(int i) const { return lo_ + i * width_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  /// Samples clamped into the first/last bin because they fell outside
+  /// [lo, hi).
+  std::uint64_t clamped_low() const { return clamped_low_; }
+  std::uint64_t clamped_high() const { return clamped_high_; }
 
  private:
   double lo_;
@@ -57,6 +69,8 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> bins_;
   std::uint64_t total_ = 0;
+  std::uint64_t clamped_low_ = 0;
+  std::uint64_t clamped_high_ = 0;
 };
 
 /// Buckets samples by time window; used to plot metric-vs-cycle curves
@@ -66,6 +80,11 @@ class TimeSeries {
   explicit TimeSeries(Cycle window) : window_(window) {}
 
   void add(Cycle when, double value);
+
+  /// Folds `other` (same window width) into this series, merging
+  /// overlapping windows via StatAccumulator::merge. Used when combining
+  /// per-run metric series across sweep points.
+  void merge(const TimeSeries& other);
 
   struct Point {
     Cycle window_start = 0;

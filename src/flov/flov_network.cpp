@@ -5,6 +5,8 @@
 #include "common/log.hpp"
 #include "noc/router.hpp"
 #include "routing/partition.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -43,10 +45,20 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
           // On a drop, tell the network: the flit was counted as injected
           // but will never eject, and the cached in-network count must not
           // keep carrying it.
-          ch->set_fault_hook([f = fault_.get(), net = net_.get()](
+          ch->set_fault_hook([f = fault_.get(), net = net_.get(), id](
+                                 Cycle now,
                                  const Flit& flit) -> std::optional<Cycle> {
             const std::optional<Cycle> fate = f->flit_fate(flit);
-            if (!fate.has_value()) net->note_flit_dropped();
+            if (!fate.has_value()) {
+              net->note_flit_dropped();
+              FLOV_TRACE(telemetry::kTraceFault,
+                         telemetry::TraceEventType::kFaultFlitDrop, now, id,
+                         flit.packet_id, flit.flit_index);
+            } else if (*fate > 0) {
+              FLOV_TRACE(telemetry::kTraceFault,
+                         telemetry::TraceEventType::kFaultFlitDelay, now, id,
+                         flit.packet_id, *fate);
+            }
             return fate;
           });
         }
@@ -62,7 +74,11 @@ void FlovNetwork::step(Cycle now) {
   for (auto& h : hscs_) h->step(now);
   if (fault_) {
     const NodeId t = fault_->spurious_wakeup_target(now);
-    if (t != kInvalidNode) hscs_[t]->trigger_wakeup(now);
+    if (t != kInvalidNode) {
+      FLOV_TRACE(telemetry::kTraceFault,
+                 telemetry::TraceEventType::kFaultSpuriousWake, now, t, t, 0);
+      hscs_[t]->trigger_wakeup(now);
+    }
   }
 }
 
@@ -302,6 +318,32 @@ int FlovNetwork::gated_router_count() const {
     }
   }
   return n;
+}
+
+void FlovNetwork::publish_metrics(telemetry::MetricsRegistry& reg,
+                                  Cycle now) const {
+  const ProtocolStats s = protocol_stats(now);
+  reg.counter("flov.sleeps") += s.sleeps;
+  reg.counter("flov.wakeups") += s.wakeups;
+  reg.counter("flov.drain_aborts") += s.drain_aborts;
+  reg.counter("flov.sleep_cycles") += s.sleep_cycles;
+  reg.counter("flov.hs_resends") += s.hs_resends;
+  reg.counter("flov.trigger_resends") += s.trigger_resends;
+  reg.counter("flov.psr_block_clears") += s.psr_block_clears;
+  reg.counter("flov.self_captures") += s.self_captures;
+  reg.counter("flov.recoveries") += s.recoveries;
+  reg.gauge("flov.avg_gated_routers") = s.avg_gated_routers;
+  reg.gauge("flov.gated_routers_end") =
+      static_cast<double>(gated_router_count());
+  if (fault_) {
+    const FaultInjector::Counters& f = fault_->counters();
+    reg.counter("fault.signals_dropped") += f.signals_dropped;
+    reg.counter("fault.signals_delayed") += f.signals_delayed;
+    reg.counter("fault.signals_duplicated") += f.signals_duplicated;
+    reg.counter("fault.flits_dropped") += f.flits_dropped;
+    reg.counter("fault.flits_delayed") += f.flits_delayed;
+    reg.counter("fault.spurious_wakeups") += f.spurious_wakeups;
+  }
 }
 
 }  // namespace flov

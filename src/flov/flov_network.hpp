@@ -106,6 +106,10 @@ class FlovNetwork final : public NocSystem {
   };
   ProtocolStats protocol_stats(Cycle now) const;
 
+  /// Registers/updates the handshake-protocol and fault-injection metrics
+  /// ("flov.*" / "fault.*") in `reg`.
+  void publish_metrics(telemetry::MetricsRegistry& reg, Cycle now) const;
+
  private:
   /// Nearest router in `dir` from `b` (exclusive) whose datapath is
   /// kPipeline; kInvalidNode if the line ends first.

@@ -6,6 +6,7 @@
 #include "flov/flov_network.hpp"
 #include "flov/signal_fabric.hpp"
 #include "noc/router.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -106,6 +107,9 @@ void HandshakeController::enter_draining(Cycle now) {
     expected_.push_back(Expected{d, p, false, now, 0});
     send(now, HsType::kDrainReq, d, p);
   }
+  FLOV_TRACE(telemetry::kTraceHandshake,
+             telemetry::TraceEventType::kHsDrainBegin, now, id_, epoch_,
+             expected_.size());
 }
 
 void HandshakeController::abort_drain(Cycle now) {
@@ -117,9 +121,15 @@ void HandshakeController::abort_drain(Cycle now) {
   state_since_ = now;
   drain_aborts_++;
   owner_->set_ni_stalled(id_, false);
+  FLOV_TRACE(telemetry::kTraceHandshake,
+             telemetry::TraceEventType::kHsDrainAbort, now, id_, epoch_,
+             drain_aborts_);
 }
 
 void HandshakeController::enter_sleep(Cycle now) {
+  FLOV_TRACE(telemetry::kTraceHandshake,
+             telemetry::TraceEventType::kHsSleepEnter, now, id_, epoch_,
+             now - state_since_);
   router_->set_mode(RouterMode::kBypass, now);
   state_ = PowerState::kSleep;
   state_since_ = now;
@@ -150,9 +160,15 @@ void HandshakeController::enter_wakeup(Cycle now) {
     expected_.push_back(Expected{d, p, false, now, 0});
     send(now, HsType::kWakeupNotify, d, p);
   }
+  FLOV_TRACE(telemetry::kTraceHandshake,
+             telemetry::TraceEventType::kHsWakeBegin, now, id_, epoch_,
+             expected_.size());
 }
 
 void HandshakeController::enter_active(Cycle now) {
+  FLOV_TRACE(telemetry::kTraceHandshake,
+             telemetry::TraceEventType::kHsWakeComplete, now, id_, epoch_,
+             now - state_since_);
   router_->set_mode(RouterMode::kPipeline, now);
   owner_->wake_handover(id_, now);
   state_ = PowerState::kActive;
@@ -179,6 +195,8 @@ void HandshakeController::retry_expected(Cycle now, HsType type) {
     e.last_sent = now;
     e.resends++;
     hs_resends_++;
+    FLOV_TRACE(telemetry::kTraceHandshake, telemetry::TraceEventType::kHsRetry,
+               now, id_, e.partner, e.resends);
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "fault/fault_injector.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -23,10 +24,23 @@ const char* to_string(HsType t) {
 void SignalFabric::enqueue_hop(Cycle now, NodeId next, const HsMessage& msg) {
   if (power_) power_->count(EnergyEvent::kHandshakeSignal);
   if (fault_) {
-    if (fault_->drop_signal(msg)) return;
-    queue_.push_back(InFlight{now + 1 + fault_->signal_extra_delay(), next,
-                              msg});
+    if (fault_->drop_signal(msg)) {
+      FLOV_TRACE(telemetry::kTraceFault,
+                 telemetry::TraceEventType::kFaultSignalDrop, now, msg.from,
+                 static_cast<std::uint64_t>(msg.type), msg.target);
+      return;
+    }
+    const Cycle delay = fault_->signal_extra_delay();
+    if (delay > 0) {
+      FLOV_TRACE(telemetry::kTraceFault,
+                 telemetry::TraceEventType::kFaultSignalDelay, now, msg.from,
+                 delay, static_cast<std::uint64_t>(msg.type));
+    }
+    queue_.push_back(InFlight{now + 1 + delay, next, msg});
     if (fault_->duplicate_signal(msg)) {
+      FLOV_TRACE(telemetry::kTraceFault,
+                 telemetry::TraceEventType::kFaultSignalDup, now, msg.from,
+                 static_cast<std::uint64_t>(msg.type), msg.target);
       queue_.push_back(InFlight{now + 1, next, msg});
     }
     return;

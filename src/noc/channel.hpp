@@ -27,10 +27,11 @@ class Channel {
 
   Cycle latency() const { return latency_; }
 
-  /// Fault hook (fault-injection subsystem): consulted once per send;
-  /// returns the extra delivery delay, or nullopt to drop the item on the
-  /// wire. Unset on fault-free channels, keeping send() hook-free and cheap.
-  using FaultHook = std::function<std::optional<Cycle>(const T&)>;
+  /// Fault hook (fault-injection subsystem): consulted once per send with
+  /// the send cycle; returns the extra delivery delay, or nullopt to drop
+  /// the item on the wire. Unset on fault-free channels, keeping send()
+  /// hook-free and cheap.
+  using FaultHook = std::function<std::optional<Cycle>(Cycle, const T&)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Active-set hook: every send re-arms the receiving component's liveness
@@ -46,7 +47,7 @@ class Channel {
     if (wake_list_) wake_list_->mark(wake_index_);
     Cycle arrival = now + latency_;
     if (fault_hook_) {
-      const std::optional<Cycle> fate = fault_hook_(item);
+      const std::optional<Cycle> fate = fault_hook_(now, item);
       if (!fate.has_value()) return;  // dropped on the wire
       arrival += *fate;
       // A delayed item must not reorder the wire or let two items become

@@ -1,6 +1,7 @@
 #include "noc/network.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace flov {
 
@@ -181,6 +182,23 @@ bool Network::recount_in_flight_empty() const {
     if (!ch->empty()) return false;
   }
   return true;
+}
+
+void Network::publish_metrics(telemetry::MetricsRegistry& reg) const {
+  reg.counter("net.injected_flits") += counters_.injected_flits;
+  reg.counter("net.ejected_flits") += counters_.ejected_flits;
+  reg.counter("net.dropped_flits") += counters_.dropped_flits;
+  std::uint64_t traversed = 0, flown_over = 0, diversions = 0, captures = 0;
+  for (const auto& r : routers_) {
+    traversed += r->flits_traversed();
+    flown_over += r->flits_flown_over();
+    diversions += r->escape_diversions();
+    captures += r->self_captures();
+  }
+  reg.counter("net.flits_traversed") += traversed;
+  reg.counter("net.flits_flown_over") += flown_over;
+  reg.counter("net.escape_diversions") += diversions;
+  reg.counter("net.self_captures") += captures;
 }
 
 }  // namespace flov

@@ -19,6 +19,10 @@
 
 namespace flov {
 
+namespace telemetry {
+class MetricsRegistry;
+}
+
 class Network {
  public:
   /// `routing` and `power` are borrowed (must outlive the network);
@@ -90,6 +94,11 @@ class Network {
 
   /// The cached aggregates (verifier drift check).
   const FabricCounters& counters() const { return counters_; }
+
+  /// Registers/updates the fabric-level metrics ("net.*") in `reg`:
+  /// the FabricCounters aggregates plus per-router sums (switch
+  /// traversals, fly-overs, escape diversions, self-captures).
+  void publish_metrics(telemetry::MetricsRegistry& reg) const;
 
   /// The inter-router flit channel leaving `node` toward `d` (null at mesh
   /// edges). Exposed for the FLOV credit-handover and for tests.

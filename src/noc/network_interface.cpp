@@ -1,6 +1,7 @@
 #include "noc/network_interface.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -59,6 +60,9 @@ void NetworkInterface::eject(Cycle now) {
       rec.payload = head.payload;
       ejected_packets_++;
       pending_heads_.erase(it);
+      FLOV_TRACE(telemetry::kTraceFlit,
+                 telemetry::TraceEventType::kPacketEject, now, node_,
+                 rec.packet_id, rec.total_latency());
       if (eject_cb_) eject_cb_(rec);
       for (const auto& cb : eject_observers_) cb(rec);
     }
@@ -92,6 +96,9 @@ void NetworkInterface::inject(Cycle now) {
         counters_->queued_packets--;
         counters_->open_streams++;
       }
+      FLOV_TRACE(telemetry::kTraceFlit,
+                 telemetry::TraceEventType::kPacketInject, now, node_,
+                 s.packet_id, s.pkt.dest);
     }
   }
 

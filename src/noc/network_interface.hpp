@@ -19,6 +19,7 @@
 #include "noc/channel.hpp"
 #include "noc/flit.hpp"
 #include "noc/noc_params.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -76,6 +77,8 @@ class NetworkInterface {
     queue_.push_back(pkt);
     if (counters_) counters_->queued_packets++;
     if (wake_) wake_->mark(wake_index_);
+    FLOV_TRACE(telemetry::kTraceFlit, telemetry::TraceEventType::kPacketGen,
+               pkt.gen_cycle, node_, pkt.dest, pkt.size_flits);
   }
 
   /// When true the NI refuses to START new packets (used by RP's Phase-I

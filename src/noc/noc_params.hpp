@@ -40,6 +40,11 @@ struct NocParams {
   /// A stale output_blocked PSR flag is optimistically cleared after this
   /// many cycles without reinforcement (0 = off; enable with faults).
   Cycle psr_block_timeout = 0;
+  /// Upper clamp of the packet-latency percentile histogram (1-cycle bins;
+  /// latencies at or above this land in the top bin and are counted by the
+  /// latency.hist_overflow metric). Raise it for congested / faulty runs
+  /// where p99 saturates at the cap.
+  Cycle latency_hist_max = 4096;
 
   int total_vcs() const { return num_vnets * vcs_per_vnet; }
   int vnet_of_vc(VcId vc) const { return vc / vcs_per_vnet; }
@@ -79,6 +84,8 @@ struct NocParams {
                                               p.sleep_reannounce_interval);
     p.psr_block_timeout =
         cfg.get_int("noc.psr_block_timeout", p.psr_block_timeout);
+    p.latency_hist_max =
+        cfg.get_int("noc.latency_hist_max", p.latency_hist_max);
     p.validate();
     return p;
   }
@@ -90,6 +97,7 @@ struct NocParams {
     FLOV_CHECK(escape_vc < vcs_per_vnet, "escape VC out of range");
     FLOV_CHECK(buffer_depth >= 1, "buffer depth must be positive");
     FLOV_CHECK(packet_size >= 1, "packet size must be positive");
+    FLOV_CHECK(latency_hist_max >= 1, "latency histogram cap must be >= 1");
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -164,6 +165,10 @@ void Router::forward_latches(Cycle now) {
     count(EnergyEvent::kFlovLatch);
     count(EnergyEvent::kLinkTraversal);
     flits_flown_over_++;
+    if (f.head) {
+      FLOV_TRACE(telemetry::kTraceFlit, telemetry::TraceEventType::kFlovLatch,
+                 now, id_, f.packet_id, d);
+    }
   }
 }
 
@@ -246,6 +251,11 @@ void Router::do_switch_traversal(Cycle now) {
     count(EnergyEvent::kCrossbar);
     if (vc.out_dir != Direction::Local) count(EnergyEvent::kLinkTraversal);
     flits_traversed_++;
+    if (f.head) {
+      FLOV_TRACE(telemetry::kTraceFlit,
+                 telemetry::TraceEventType::kSwitchTraversal, now, id_,
+                 f.packet_id, outp);
+    }
     if (g.in_port == dir_index(Direction::Local) ||
         outp == dir_index(Direction::Local)) {
       last_local_activity_ = now;
@@ -299,6 +309,10 @@ void Router::do_timeout_checks(Cycle now) {
         vc.out_vc = -1;
       }
       head.escape = true;
+      escape_diversions_++;
+      FLOV_TRACE(telemetry::kTraceFlit,
+                 telemetry::TraceEventType::kEscapeDivert, now, id_,
+                 head.packet_id, now - vc.wait_since);
       const RouteContext ctx{id_, dir_from_index(p), &view_};
       const RouteDecision d = routing_->escape_route(ctx, head);
       vc.out_dir = d.out;
@@ -397,6 +411,8 @@ void Router::do_vc_allocation(Cycle now) {
     vc.state = VcState::kActive;
     vc.wait_since = now;
     count(EnergyEvent::kVcArb);
+    FLOV_TRACE(telemetry::kTraceFlit, telemetry::TraceEventType::kVcAlloc,
+               now, id_, head.packet_id, grant);
   }
 }
 
@@ -436,6 +452,16 @@ void Router::do_switch_allocation(Cycle now) {
     FLOV_CHECK(winner >= 0, "output arbiter returned no winner");
     pending_st_.push_back(SwitchGrant{winner, nominee[winner]});
     count(EnergyEvent::kSwArb);
+#if defined(FLYOVER_TRACING) && FLYOVER_TRACING
+    {
+      const auto& gvc = input_[winner].vcs[nominee[winner]];
+      if (!gvc.buffer.empty() && gvc.buffer.front().head) {
+        FLOV_TRACE(telemetry::kTraceFlit,
+                   telemetry::TraceEventType::kSwitchGrant, now, id_,
+                   gvc.buffer.front().packet_id, outp);
+      }
+    }
+#endif
   }
 }
 

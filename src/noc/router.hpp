@@ -148,6 +148,9 @@ class Router {
     return output_[dir_index(d)];
   }
   std::uint64_t flits_traversed() const { return flits_traversed_; }
+  /// Packets this router diverted into the escape sub-network (deadlock
+  /// timeout fired); the escape-VC path's registry metric.
+  std::uint64_t escape_diversions() const { return escape_diversions_; }
   /// Flits resident in this router right now (input VC buffers + FLOV
   /// latches); used by the verifier's conservation sum. Always a full
   /// ground-truth recount (the verifier must not trust cached counters).
@@ -236,6 +239,7 @@ class Router {
   std::uint64_t flits_traversed_ = 0;
   std::uint64_t flits_flown_over_ = 0;
   std::uint64_t self_captures_ = 0;
+  std::uint64_t escape_diversions_ = 0;
 };
 
 }  // namespace flov

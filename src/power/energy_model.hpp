@@ -36,6 +36,23 @@ enum class EnergyEvent : int {
 
 inline constexpr int kNumEnergyEvents = static_cast<int>(EnergyEvent::kCount);
 
+inline const char* to_string(EnergyEvent e) {
+  switch (e) {
+    case EnergyEvent::kBufferWrite: return "buffer_write";
+    case EnergyEvent::kBufferRead: return "buffer_read";
+    case EnergyEvent::kVcArb: return "vc_arb";
+    case EnergyEvent::kSwArb: return "sw_arb";
+    case EnergyEvent::kCrossbar: return "crossbar";
+    case EnergyEvent::kLinkTraversal: return "link_traversal";
+    case EnergyEvent::kFlovLatch: return "flov_latch";
+    case EnergyEvent::kCreditRelay: return "credit_relay";
+    case EnergyEvent::kHandshakeSignal: return "handshake_signal";
+    case EnergyEvent::kPgTransition: return "pg_transition";
+    case EnergyEvent::kCount: break;
+  }
+  return "?";
+}
+
 /// Leakage-relevant operating mode of a router tile.
 enum class RouterPowerMode : std::uint8_t {
   kOn = 0,       ///< baseline router powered (full leakage)

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -35,6 +37,9 @@ void PowerTracker::set_mode(NodeId router, RouterPowerMode mode, Cycle now) {
         params_.leak_energy_pj(tile_leak_mw(router, modes_[router]),
                                now - since);
   }
+  FLOV_TRACE(telemetry::kTracePower, telemetry::TraceEventType::kPowerMode,
+             now, router, static_cast<std::uint64_t>(mode),
+             static_cast<std::uint64_t>(modes_[router]));
   modes_[router] = mode;
   mode_since_[router] = now;
 }
@@ -78,6 +83,23 @@ PowerTracker::Report PowerTracker::report(Cycle now) const {
     rep.total_mw = rep.static_mw + rep.dynamic_mw;
   }
   return rep;
+}
+
+void PowerTracker::publish_metrics(telemetry::MetricsRegistry& reg,
+                                   Cycle now) const {
+  for (int e = 0; e < kNumEnergyEvents; ++e) {
+    const EnergyEvent ev = static_cast<EnergyEvent>(e);
+    reg.counter(std::string("power.events.") + to_string(ev)) +=
+        event_counts_[e];
+  }
+  const Report rep = report(now);
+  reg.gauge("power.static_mw") = rep.static_mw;
+  reg.gauge("power.dynamic_mw") = rep.dynamic_mw;
+  reg.gauge("power.total_mw") = rep.total_mw;
+  reg.gauge("power.static_energy_pj") = rep.static_energy_pj;
+  reg.gauge("power.dynamic_energy_pj") = rep.dynamic_energy_pj;
+  reg.gauge("power.total_energy_pj") = rep.total_energy_pj;
+  reg.gauge("power.window_cycles") = static_cast<double>(rep.cycles);
 }
 
 }  // namespace flov

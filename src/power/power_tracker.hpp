@@ -17,6 +17,10 @@
 
 namespace flov {
 
+namespace telemetry {
+class MetricsRegistry;
+}
+
 class PowerTracker {
  public:
   /// `flov_hardware` selects whether routers pay the FLOV area/leakage
@@ -51,6 +55,11 @@ class PowerTracker {
 
   /// Computes power/energy over [window_start, now].
   Report report(Cycle now) const;
+
+  /// Registers/updates this tracker's metrics in `reg`: one
+  /// "power.events.<name>" counter per dynamic-event class plus the
+  /// report(now) power/energy figures as "power.*" gauges.
+  void publish_metrics(telemetry::MetricsRegistry& reg, Cycle now) const;
 
   const EnergyParams& params() const { return params_; }
 

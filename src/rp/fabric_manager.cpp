@@ -1,6 +1,7 @@
 #include "rp/fabric_manager.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -30,12 +31,15 @@ void FabricManager::set_core_gated(NodeId core, bool gated, Cycle now) {
 void FabricManager::begin_reconfig(Cycle now) {
   phase_ = Phase::kDraining;
   reconfig_start_ = now;
+  FLOV_TRACE(telemetry::kTraceEpoch, telemetry::TraceEventType::kEpochBegin,
+             now, -1, reconfigs_ + 1, 0);
   for (NodeId i = 0; i < net_->num_nodes(); ++i) {
     net_->ni(i).set_injection_stalled(true);
   }
 }
 
 void FabricManager::apply(Cycle now) {
+  const std::uint64_t purged_before = purged_;
   powered_ = compute_parked_set(net_->geom(), gated_core_, always_on_,
                                 cfg_.policy);
   auto routes = std::make_shared<UpDownRoutes>(net_->geom(), powered_);
@@ -53,6 +57,16 @@ void FabricManager::apply(Cycle now) {
     });
   }
   dirty_ = false;
+#if defined(FLYOVER_TRACING) && FLYOVER_TRACING
+  {
+    std::uint64_t parked = 0;
+    for (NodeId i = 0; i < net_->num_nodes(); ++i) {
+      if (!powered_[i]) parked++;
+    }
+    FLOV_TRACE(telemetry::kTraceEpoch, telemetry::TraceEventType::kEpochApply,
+               now, -1, parked, purged_ - purged_before);
+  }
+#endif
 }
 
 void FabricManager::step(Cycle now) {
@@ -79,6 +93,9 @@ void FabricManager::step(Cycle now) {
         last_duration_ = now - reconfig_start_;
         next_allowed_ = now + cfg_.min_epoch_gap;
         reconfigs_++;
+        FLOV_TRACE(telemetry::kTraceEpoch,
+                   telemetry::TraceEventType::kEpochComplete, now, -1,
+                   reconfigs_, last_duration_);
         for (NodeId i = 0; i < net_->num_nodes(); ++i) {
           net_->ni(i).set_injection_stalled(false);
         }

@@ -1,5 +1,7 @@
 #include "rp/rp_network.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace flov {
 
 RpNetwork::RpNetwork(NocParams params, const EnergyParams& energy,
@@ -30,6 +32,14 @@ int RpNetwork::parked_router_count() const {
     if (!fm_->router_powered(i)) ++n;
   }
   return n;
+}
+
+void RpNetwork::publish_metrics(telemetry::MetricsRegistry& reg) const {
+  reg.counter("rp.reconfigurations") += fm_->reconfigurations();
+  reg.counter("rp.purged_packets") += fm_->purged_packets();
+  reg.gauge("rp.parked_routers") = static_cast<double>(parked_router_count());
+  reg.gauge("rp.last_reconfig_duration") =
+      static_cast<double>(fm_->last_reconfig_duration());
 }
 
 }  // namespace flov

@@ -43,6 +43,9 @@ class RpNetwork final : public NocSystem {
 
   int parked_router_count() const;
 
+  /// Registers/updates the fabric-manager metrics ("rp.*") in `reg`.
+  void publish_metrics(telemetry::MetricsRegistry& reg) const;
+
  private:
   NocParams params_;
   MeshGeometry geom_;

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "flov/flov_network.hpp"
 #include "rp/rp_network.hpp"
+#include "telemetry/json.hpp"
 #include "traffic/gating_scenario.hpp"
 #include "traffic/synthetic_traffic.hpp"
 #include "traffic/traffic_pattern.hpp"
@@ -31,6 +32,57 @@ void dump_stall_state(NocSystem& sys, Cycle now) {
   }
 }
 
+const char* router_mode_name(RouterMode m) {
+  switch (m) {
+    case RouterMode::kPipeline: return "pipeline";
+    case RouterMode::kBypass: return "bypass";
+    case RouterMode::kParked: return "parked";
+  }
+  return "?";
+}
+
+/// Machine-parseable twin of dump_stall_state: one incident object with
+/// every router that holds flits or is not plainly powered (coordinates,
+/// datapath mode, protocol state, occupancy).
+void record_stall_incident(NocSystem& sys, telemetry::StructuredSink& sink,
+                           Cycle now, Cycle stalled_for, bool recovered) {
+  Network& net = sys.network();
+  auto* f = dynamic_cast<FlovNetwork*>(&sys);
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("kind", "watchdog_stall");
+  w.kv("scheme", sys.name());
+  w.kv("cycle", static_cast<std::uint64_t>(now));
+  w.kv("stalled_cycles", static_cast<std::uint64_t>(stalled_for));
+  w.kv("recovery_attempted", recovered);
+  w.key("routers");
+  w.begin_array();
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Router& r = net.router(id);
+    const int flits = r.buffered_flits();
+    const RouterMode m = r.mode();
+    const PowerState ps = f ? f->hsc(id).state() : PowerState::kActive;
+    if (flits == 0 && m == RouterMode::kPipeline &&
+        ps == PowerState::kActive) {
+      continue;
+    }
+    const Coord c = net.geom().coord(id);
+    w.begin_object();
+    w.kv("router", id);
+    w.kv("x", c.x);
+    w.kv("y", c.y);
+    w.kv("mode", router_mode_name(m));
+    if (f) w.kv("power_state", to_string(ps));
+    w.kv("buffered_flits", flits);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("queued_packets", net.total_queued_packets());
+  w.kv("in_network_flits", net.in_network_flits());
+  w.end_object();
+  sink.add(w.take());
+}
+
 }  // namespace
 
 RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
@@ -38,6 +90,22 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
                                    /*always_on=*/{}, cfg.faults);
   NocSystem& sys = *built.system;
   Network& net = sys.network();
+  auto* flov_sys = dynamic_cast<FlovNetwork*>(&sys);
+
+  auto metrics =
+      std::make_shared<telemetry::MetricsRegistry>(cfg.telemetry.metrics_window);
+  auto incidents = std::make_shared<telemetry::StructuredSink>();
+  std::shared_ptr<telemetry::Tracer> tracer;
+#if defined(FLYOVER_TRACING) && FLYOVER_TRACING
+  if (cfg.telemetry.trace_mask != 0) {
+    tracer = std::make_shared<telemetry::Tracer>(cfg.telemetry.trace_mask,
+                                                 cfg.telemetry.trace_capacity);
+  }
+#endif
+  // Binds the tracer to this thread for the whole run; every FLOV_TRACE
+  // hook in the subsystems below lands in this ring (or costs one branch
+  // when `tracer` is null).
+  telemetry::TraceScope trace_scope(tracer.get());
 
   auto pattern = TrafficPattern::create(cfg.pattern, net.geom());
   SyntheticTraffic traffic(&sys, pattern.get(), cfg.inj_rate_flits,
@@ -50,17 +118,20 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
           : GatingScenario::epochs(net.geom(), cfg.gated_fraction,
                                    cfg.gating_changes, cfg.seed);
 
-  LatencyStats stats(/*router_pipeline_cycles=*/3, cfg.timeline_window);
+  LatencyStats stats(/*router_pipeline_cycles=*/3, cfg.timeline_window,
+                     cfg.noc.latency_hist_max);
   stats.set_measure_from(cfg.warmup);
   net.set_eject_callback(
       [&stats](const PacketRecord& r) { stats.record(r); });
 
   std::unique_ptr<InvariantVerifier> verifier;
   if (cfg.verify) {
-    if (auto* f = dynamic_cast<FlovNetwork*>(&sys)) {
-      verifier = std::make_unique<InvariantVerifier>(*f, cfg.verifier);
+    VerifierOptions vopts = cfg.verifier;
+    vopts.sink = incidents.get();  // violations also land as JSON incidents
+    if (flov_sys) {
+      verifier = std::make_unique<InvariantVerifier>(*flov_sys, vopts);
     } else {
-      verifier = std::make_unique<InvariantVerifier>(net, cfg.verifier);
+      verifier = std::make_unique<InvariantVerifier>(net, vopts);
     }
   }
 
@@ -75,6 +146,17 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     sys.step(now);
     if (verifier) verifier->step(now);
     if (now == cfg.warmup) built.power->begin_window(now);
+    if (cfg.telemetry.metrics_window != 0 &&
+        (now % cfg.telemetry.metrics_window) == 0) {
+      metrics->series("series.in_network_flits")
+          .add(now, static_cast<double>(net.in_network_flits()));
+      metrics->series("series.queued_packets")
+          .add(now, static_cast<double>(net.total_queued_packets()));
+      if (flov_sys) {
+        metrics->series("series.gated_routers")
+            .add(now, static_cast<double>(flov_sys->gated_router_count()));
+      }
+    }
     // Progress probe: total_ejected_flits()/in_flight_empty() are O(1)
     // cached counters, so the probe itself is free; the %1024 throttle is
     // kept anyway so the progress-sampling points (and hence recovery
@@ -86,8 +168,16 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
         last_progress = now;
         recovery_armed = true;
       } else if (now - last_progress >= cfg.watchdog) {
+        FLOV_TRACE(telemetry::kTraceRecovery,
+                   telemetry::TraceEventType::kWatchdogStall, now, -1,
+                   now - last_progress, last_ejected);
         dump_stall_state(sys, now);
         const bool recovered = recovery_armed && sys.attempt_recovery(now);
+        record_stall_incident(sys, *incidents, now, now - last_progress,
+                              recovered);
+        FLOV_TRACE(telemetry::kTraceRecovery,
+                   telemetry::TraceEventType::kRecoveryAttempt, now, -1,
+                   recovered ? 1 : 0, recoveries + 1);
         FLOV_CHECK(recovered,
                    std::string("no forward progress (possible deadlock) in ") +
                        to_string(cfg.scheme));
@@ -111,7 +201,7 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   r.ejected_flits = net.total_ejected_flits();
   r.escape_packets = stats.escape_packets();
   r.watchdog_recoveries = recoveries;
-  if (auto* f = dynamic_cast<FlovNetwork*>(&sys)) {
+  if (FlovNetwork* f = flov_sys) {
     r.gated_routers_end = f->gated_router_count();
     const auto ps = f->protocol_stats(total);
     r.avg_gated_routers = ps.avg_gated_routers;
@@ -133,6 +223,27 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     r.verifier_checks = verifier->checks_run();
   }
   if (const TimeSeries* ts = stats.timeline()) r.timeline = ts->points();
+
+  // Every subsystem registers its metrics under its own prefix; the
+  // registry rides on the RunResult so sweeps can fold per-point
+  // registries deterministically.
+  net.publish_metrics(*metrics);
+  stats.publish_metrics(*metrics);
+  built.power->publish_metrics(*metrics, total);
+  if (flov_sys) {
+    flov_sys->publish_metrics(*metrics, total);
+  } else if (auto* p = dynamic_cast<RpNetwork*>(&sys)) {
+    p->publish_metrics(*metrics);
+  }
+  metrics->counter("run.packets_generated") += traffic.generated_packets();
+  metrics->counter("run.watchdog_recoveries") += recoveries;
+  if (verifier) {
+    metrics->counter("verify.violations") += verifier->violations();
+    metrics->counter("verify.checks") += verifier->checks_run();
+  }
+  r.metrics = std::move(metrics);
+  r.trace = std::move(tracer);
+  r.incidents = std::move(incidents);
   return r;
 }
 

@@ -4,6 +4,7 @@
 // total run, measurement over the post-warm-up window.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,10 @@
 #include "power/power_tracker.hpp"
 #include "sim/builder.hpp"
 #include "sim/latency_stats.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/structured_sink.hpp"
+#include "telemetry/telemetry_options.hpp"
+#include "telemetry/trace.hpp"
 #include "verify/invariant_verifier.hpp"
 
 namespace flov {
@@ -40,6 +45,8 @@ struct SyntheticExperimentConfig {
   /// Run the invariant verifier alongside the simulation.
   bool verify = true;
   VerifierOptions verifier;
+  /// Telemetry: event-trace mask/capacity and metric-sampling window.
+  telemetry::TelemetryOptions telemetry;
 };
 
 struct RunResult {
@@ -69,6 +76,14 @@ struct RunResult {
   std::uint64_t self_captures = 0;     ///< bypass self-destined captures
   std::uint64_t flits_dropped_by_faults = 0;
   std::vector<TimeSeries::Point> timeline;
+  // --- telemetry (always populated; shared so RunResult stays copyable) ---
+  /// Full metrics registry for this run (merged across runs by sweeps).
+  std::shared_ptr<telemetry::MetricsRegistry> metrics;
+  /// Event tracer; null unless cfg.telemetry.trace_mask was non-zero AND
+  /// the build compiled the hook points in (FLYOVER_TRACING).
+  std::shared_ptr<telemetry::Tracer> trace;
+  /// Structured incident records (verifier violations, watchdog stalls).
+  std::shared_ptr<telemetry::StructuredSink> incidents;
 };
 
 RunResult run_synthetic(const SyntheticExperimentConfig& cfg);

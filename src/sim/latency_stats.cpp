@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace flov {
 
-LatencyStats::LatencyStats(int router_pipeline_cycles, Cycle timeline_window)
+LatencyStats::LatencyStats(int router_pipeline_cycles, Cycle timeline_window,
+                           Cycle hist_max)
     : pipeline_(router_pipeline_cycles),
+      hist_(0, static_cast<double>(hist_max), static_cast<int>(hist_max)),
       timeline_window_(timeline_window),
       timeline_(timeline_window ? timeline_window : 1) {}
 
@@ -31,6 +35,22 @@ void LatencyStats::record(const PacketRecord& rec) {
   flov_hops_.add(static_cast<double>(rec.flov_hops));
   if (rec.used_escape) ++escape_packets_;
   if (timeline_window_) timeline_.add(rec.gen_cycle, total);
+}
+
+void LatencyStats::publish_metrics(telemetry::MetricsRegistry& reg) const {
+  reg.stat("latency.total").merge(latency_);
+  reg.stat("latency.router_component").merge(router_c_);
+  reg.stat("latency.link_component").merge(link_c_);
+  reg.stat("latency.serialization_component").merge(serial_c_);
+  reg.stat("latency.flov_component").merge(flov_c_);
+  reg.stat("latency.contention_component").merge(contention_c_);
+  reg.stat("latency.link_hops").merge(hops_);
+  reg.stat("latency.flov_hops").merge(flov_hops_);
+  reg.histogram("latency.histogram", hist_.lo(), hist_.hi(), hist_.num_bins())
+      .merge(hist_);
+  reg.counter("latency.packets_measured") += latency_.count();
+  reg.counter("latency.escape_packets") += escape_packets_;
+  reg.counter("latency.hist_overflow") += hist_.clamped_high();
 }
 
 LatencyBreakdown LatencyStats::avg_breakdown() const {

@@ -28,13 +28,19 @@ struct LatencyBreakdown {
   }
 };
 
+namespace telemetry {
+class MetricsRegistry;
+}
+
 class LatencyStats {
  public:
   /// `router_pipeline_cycles`: per-hop pipeline depth (3 in Table I).
   /// `timeline_window`: bucket width for the latency-vs-time series (0
   /// disables the series).
+  /// `hist_max`: upper clamp of the percentile histogram (1-cycle bins;
+  /// NocParams::latency_hist_max).
   explicit LatencyStats(int router_pipeline_cycles = 3,
-                        Cycle timeline_window = 0);
+                        Cycle timeline_window = 0, Cycle hist_max = 4096);
 
   /// Records a completed packet (call from the NI ejection callback).
   /// Packets generated before `measure_from` are ignored.
@@ -46,12 +52,18 @@ class LatencyStats {
   std::uint64_t packets() const { return latency_.count(); }
   double avg_latency() const { return latency_.mean(); }
   double max_latency() const { return latency_.max(); }
-  /// Percentile from a 1-cycle-resolution histogram (clamped at 4096).
+  /// Percentile from a 1-cycle-resolution histogram (clamped at hist_max).
   double latency_percentile(double p) const { return hist_.percentile(p); }
   LatencyBreakdown avg_breakdown() const;
   double avg_hops() const { return hops_.mean(); }
   double avg_flov_hops() const { return flov_hops_.mean(); }
   std::uint64_t escape_packets() const { return escape_packets_; }
+  /// Packets whose latency met or exceeded the histogram cap (their
+  /// percentile contribution saturates at hist_max - 1).
+  std::uint64_t hist_overflow() const { return hist_.clamped_high(); }
+
+  /// Registers/updates this collector's metrics ("latency.*") in `reg`.
+  void publish_metrics(telemetry::MetricsRegistry& reg) const;
 
   const TimeSeries* timeline() const {
     return timeline_window_ ? &timeline_ : nullptr;
@@ -69,7 +81,7 @@ class LatencyStats {
   StatAccumulator hops_;
   StatAccumulator flov_hops_;
   std::uint64_t escape_packets_ = 0;
-  Histogram hist_{0, 4096, 4096};
+  Histogram hist_;
   Cycle timeline_window_;
   TimeSeries timeline_;
 };

@@ -75,4 +75,13 @@ std::vector<RunResult> run_sweep(
   return results;
 }
 
+telemetry::MetricsRegistry merge_sweep_metrics(
+    const std::vector<RunResult>& results) {
+  telemetry::MetricsRegistry merged;
+  for (const RunResult& r : results) {
+    if (r.metrics) merged.merge(*r.metrics);
+  }
+  return merged;
+}
+
 }  // namespace flov

@@ -41,4 +41,11 @@ std::vector<RunResult> run_sweep(
     const std::vector<SyntheticExperimentConfig>& points,
     const SweepOptions& opts = {});
 
+/// Folds every point's metrics registry into one merged registry, in
+/// SUBMISSION order. Because run_sweep's results vector is ordered by
+/// submission index (not completion), the fold — and hence any manifest
+/// serialized from it — is byte-identical between jobs=1 and jobs=N.
+telemetry::MetricsRegistry merge_sweep_metrics(
+    const std::vector<RunResult>& results);
+
 }  // namespace flov

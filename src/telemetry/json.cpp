@@ -1,0 +1,255 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace flov::telemetry {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_.back()) out_ += ',';
+  need_comma_.back() = true;
+}
+
+void JsonWriter::escape(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  FLOV_CHECK(need_comma_.size() > 1, "unbalanced end_object");
+  need_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  FLOV_CHECK(need_comma_.size() > 1, "unbalanced end_array");
+  need_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  escape(k);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  escape(v);
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %.17g renders integral doubles without a decimal point ("3"); that is
+  // valid JSON, and the parser reads it back as the same double.
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+}
+
+void JsonWriter::raw(const std::string& json) {
+  comma();
+  out_ += json;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+      pos++;
+  }
+
+  char peek() {
+    skip_ws();
+    FLOV_CHECK(pos < s.size(), "json: unexpected end of input");
+    return s[pos];
+  }
+
+  void expect(char c) {
+    FLOV_CHECK(peek() == c,
+               std::string("json: expected '") + c + "' at offset " +
+                   std::to_string(pos));
+    pos++;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      FLOV_CHECK(pos < s.size(), "json: unterminated string");
+      char c = s[pos++];
+      if (c == '"') break;
+      if (c == '\\') {
+        FLOV_CHECK(pos < s.size(), "json: bad escape");
+        char e = s[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            FLOV_CHECK(pos + 4 <= s.size(), "json: bad \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(s.substr(pos, 4).c_str(), nullptr, 16));
+            pos += 4;
+            // The writer only emits \u00xx for control bytes.
+            out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default:
+            FLOV_CHECK(false, std::string("json: unknown escape \\") + e);
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_value() {
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      pos++;
+      if (peek() == '}') {
+        pos++;
+        return v;
+      }
+      while (true) {
+        const std::string k = parse_string();
+        expect(':');
+        v.obj[k] = parse_value();
+        if (peek() == ',') {
+          pos++;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+    } else if (c == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      pos++;
+      if (peek() == ']') {
+        pos++;
+        return v;
+      }
+      while (true) {
+        v.arr.push_back(parse_value());
+        if (peek() == ',') {
+          pos++;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+    } else if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+    } else if (c == 't') {
+      FLOV_CHECK(s.compare(pos, 4, "true") == 0, "json: bad literal");
+      pos += 4;
+      v.kind = JsonValue::Kind::kBool;
+      v.b = true;
+    } else if (c == 'f') {
+      FLOV_CHECK(s.compare(pos, 5, "false") == 0, "json: bad literal");
+      pos += 5;
+      v.kind = JsonValue::Kind::kBool;
+      v.b = false;
+    } else if (c == 'n') {
+      FLOV_CHECK(s.compare(pos, 4, "null") == 0, "json: bad literal");
+      pos += 4;
+      v.kind = JsonValue::Kind::kNull;
+    } else {
+      v.kind = JsonValue::Kind::kNumber;
+      char* end = nullptr;
+      v.num = std::strtod(s.c_str() + pos, &end);
+      FLOV_CHECK(end != s.c_str() + pos, "json: bad number");
+      pos = static_cast<std::size_t>(end - s.c_str());
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::at(const std::string& k) const {
+  auto it = obj.find(k);
+  FLOV_CHECK(it != obj.end(), "json: missing key " + k);
+  return it->second;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  Parser p{text};
+  JsonValue v = p.parse_value();
+  p.skip_ws();
+  FLOV_CHECK(p.pos == text.size(), "json: trailing garbage");
+  return v;
+}
+
+}  // namespace flov::telemetry

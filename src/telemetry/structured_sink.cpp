@@ -1,0 +1,30 @@
+#include "telemetry/structured_sink.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "telemetry/json.hpp"
+
+namespace flov::telemetry {
+
+void StructuredSink::append_json(JsonWriter& w) const {
+  w.begin_array();
+  for (const std::string& r : records_) w.raw(r);
+  w.end_array();
+}
+
+void StructuredSink::write(const std::string& path) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "flyover-incidents-v1");
+  w.key("incidents");
+  append_json(w);
+  w.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FLOV_CHECK(f != nullptr, "cannot open incidents file " + path);
+  const std::string& json = w.str();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace flov::telemetry

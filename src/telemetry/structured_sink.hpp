@@ -1,0 +1,40 @@
+// Structured diagnostic sink: machine-parseable incident records.
+//
+// Watchdog stall dumps and invariant-verifier violations historically went
+// to stderr as free-form text, which made a CI failure artifact useless to
+// tooling. Subsystems now ALSO build each dump as a JSON object (router
+// coordinates, power modes, occupancy, the violated invariant) and append
+// it here; the experiment embeds the incidents in the run manifest and/or
+// writes them to a standalone incidents file. The stderr text dumps remain
+// for humans reading a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flov::telemetry {
+
+class JsonWriter;
+
+class StructuredSink {
+ public:
+  /// Appends one complete JSON object (caller renders it with JsonWriter).
+  void add(std::string json_object) {
+    records_.push_back(std::move(json_object));
+  }
+
+  const std::vector<std::string>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Splices the incidents as a JSON array into `w` (for manifest embeds).
+  void append_json(JsonWriter& w) const;
+
+  /// Writes {"schema":"flyover-incidents-v1","incidents":[...]} to `path`.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> records_;
+};
+
+}  // namespace flov::telemetry

@@ -7,8 +7,24 @@
 #include "common/log.hpp"
 #include "fault/fault_injector.hpp"
 #include "flov/flov_network.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/structured_sink.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
+
+namespace {
+
+const char* router_mode_name(RouterMode m) {
+  switch (m) {
+    case RouterMode::kPipeline: return "pipeline";
+    case RouterMode::kBypass: return "bypass";
+    case RouterMode::kParked: return "parked";
+  }
+  return "?";
+}
+
+}  // namespace
 
 InvariantVerifier::InvariantVerifier(FlovNetwork& sys, VerifierOptions opts)
     : net_(sys.network()),
@@ -41,6 +57,38 @@ void InvariantVerifier::violation(Cycle now, const std::string& what) {
   std::fprintf(stderr, "[verifier] cycle %llu: %s\n",
                static_cast<unsigned long long>(now), what.c_str());
   if (flov_) flov_->dump_state(now);
+  if (opts_.sink) {
+    // Machine-parseable mirror of the stderr dump: the violated invariant
+    // plus the coordinates / datapath mode / protocol state of every router
+    // that is not plainly powered (the interesting ones in any power-gating
+    // incident).
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("kind", "verifier_violation");
+    w.kv("cycle", static_cast<std::uint64_t>(now));
+    w.kv("what", what);
+    w.key("gated_routers");
+    w.begin_array();
+    for (NodeId id = 0; id < net_.num_nodes(); ++id) {
+      const RouterMode m = net_.router(id).mode();
+      const PowerState ps = flov_ ? state_of(id) : PowerState::kActive;
+      if (m == RouterMode::kPipeline && ps == PowerState::kActive) continue;
+      const Coord c = net_.geom().coord(id);
+      w.begin_object();
+      w.kv("router", id);
+      w.kv("x", c.x);
+      w.kv("y", c.y);
+      w.kv("mode", router_mode_name(m));
+      if (flov_) w.kv("power_state", to_string(ps));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    opts_.sink->add(w.take());
+  }
+  FLOV_TRACE(telemetry::kTraceVerify,
+             telemetry::TraceEventType::kVerifyViolation, now, -1,
+             violations_ + 1, 0);
   last_violation_ = what;
   violations_++;
   FLOV_CHECK(!opts_.fatal, "invariant violation: " + what);

@@ -40,6 +40,10 @@
 
 namespace flov {
 
+namespace telemetry {
+class StructuredSink;
+}
+
 class FlovNetwork;
 class FaultInjector;
 
@@ -51,6 +55,10 @@ struct VerifierOptions {
   bool check_credits = true;
   bool check_psr = true;
   bool fatal = true;  ///< abort on violation (else: count and continue)
+  /// Structured incident sink (run manifest "incidents" section): every
+  /// violation is also recorded as a JSON object with the coordinates and
+  /// power mode of each non-powered router. Non-owning; may be null.
+  telemetry::StructuredSink* sink = nullptr;
 
   static VerifierOptions from_config(const Config& cfg) {
     VerifierOptions o;

@@ -193,6 +193,46 @@ TEST(Stats, AccumulatorMergeMatchesCombined) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(Stats, AccumulatorMergeWithEmpty) {
+  StatAccumulator a, empty;
+  for (double x : {2.0, 4.0, 6.0}) a.add(x);
+  const double mean = a.mean(), var = a.variance();
+
+  a.merge(empty);  // merging an empty accumulator changes nothing
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_DOUBLE_EQ(a.variance(), var);
+
+  StatAccumulator b;
+  b.merge(a);  // merging INTO an empty adopts the other wholesale
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_DOUBLE_EQ(b.variance(), var);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 6.0);
+}
+
+TEST(Stats, AccumulatorMergeOrderIndependentForSameData) {
+  // The sweep fold relies on merge producing the same moments regardless
+  // of how the samples were split across per-run accumulators.
+  StatAccumulator ab, ba, a1, b1, a2, b2;
+  Rng r(5);
+  for (int i = 0; i < 50; ++i) {
+    const double x = r.next_double() * 100 - 50;
+    (i < 25 ? a1 : b1).add(x);
+    (i < 25 ? a2 : b2).add(x);
+  }
+  ab = a1;
+  ab.merge(b1);
+  ba = b2;
+  ba.merge(a2);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+  EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+}
+
 TEST(Stats, HistogramPercentiles) {
   Histogram h(0, 100, 100);
   for (int i = 0; i < 100; ++i) h.add(i + 0.5);
@@ -207,6 +247,67 @@ TEST(Stats, HistogramClampsOutOfRange) {
   h.add(50);
   EXPECT_EQ(h.bins().front(), 1u);
   EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(Stats, HistogramEmptyPercentile) {
+  Histogram h(0, 100, 10);
+  EXPECT_EQ(h.count(), 0u);
+  // Percentiles of an empty histogram must not crash; any in-range
+  // constant is acceptable as long as it is deterministic.
+  const double p50 = h.percentile(50);
+  EXPECT_EQ(p50, h.percentile(50));
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 100.0);
+}
+
+TEST(Stats, HistogramSingleBin) {
+  Histogram h(0, 10, 1);
+  for (int i = 0; i < 7; ++i) h.add(5.0);
+  EXPECT_EQ(h.count(), 7u);
+  // With one bin, every percentile interpolates within [0, 10).
+  EXPECT_GE(h.percentile(0), 0.0);
+  EXPECT_LE(h.percentile(100), 10.0);
+  EXPECT_LE(h.percentile(10), h.percentile(90));
+}
+
+TEST(Stats, HistogramPercentileExtremes) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_LE(h.percentile(0), h.percentile(1));
+  EXPECT_LE(h.percentile(99), h.percentile(100));
+  EXPECT_NEAR(h.percentile(0), 0.0, 1.5);
+  EXPECT_NEAR(h.percentile(100), 100.0, 1.5);
+}
+
+TEST(Stats, HistogramClampCountersVisible) {
+  // The clamp counters make saturation visible: a p99 read off a
+  // histogram with non-zero clamped_high() is a lower bound.
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 90; ++i) h.add(5.0);
+  EXPECT_EQ(h.clamped_low(), 0u);
+  EXPECT_EQ(h.clamped_high(), 0u);
+  for (int i = 0; i < 10; ++i) h.add(1e6);
+  h.add(-1.0);
+  EXPECT_EQ(h.clamped_high(), 10u);
+  EXPECT_EQ(h.clamped_low(), 1u);
+  EXPECT_EQ(h.count(), 101u);
+  // All clamped-high mass sits in the last bin, so the p99 saturates just
+  // below the upper bound instead of reporting the true 1e6.
+  EXPECT_LE(h.percentile(99), 10.0);
+}
+
+TEST(Stats, HistogramMergeAddsBinsAndClamps) {
+  Histogram a(0, 10, 10), b(0, 10, 10);
+  a.add(1.5);
+  a.add(99.0);  // clamped high
+  b.add(1.5);
+  b.add(-3.0);  // clamped low
+  b.add(8.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.bins()[1], 2u);  // both 1.5 samples
+  EXPECT_EQ(a.clamped_high(), 1u);
+  EXPECT_EQ(a.clamped_low(), 1u);
 }
 
 TEST(Stats, TimeSeriesBuckets) {
@@ -232,6 +333,51 @@ TEST(Stats, TimeSeriesOutOfOrderInsert) {
   ASSERT_EQ(pts.size(), 2u);
   EXPECT_EQ(pts[0].window_start, 0u);
   EXPECT_EQ(pts[1].window_start, 100u);
+}
+
+TEST(Stats, TimeSeriesWindowBoundaries) {
+  // Samples at cycle k*W-1 and k*W must land in DIFFERENT windows: the
+  // bucket covers [k*W, (k+1)*W).
+  TimeSeries ts(100);
+  ts.add(99, 1.0);
+  ts.add(100, 2.0);
+  ts.add(199, 3.0);
+  ts.add(200, 4.0);
+  auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].window_start, 0u);
+  EXPECT_EQ(pts[0].count, 1u);
+  EXPECT_EQ(pts[1].window_start, 100u);
+  EXPECT_EQ(pts[1].count, 2u);
+  EXPECT_DOUBLE_EQ(pts[1].mean, 2.5);
+  EXPECT_EQ(pts[2].window_start, 200u);
+  EXPECT_EQ(pts[2].count, 1u);
+}
+
+TEST(Stats, TimeSeriesCycleZero) {
+  TimeSeries ts(50);
+  ts.add(0, 9.0);
+  auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].window_start, 0u);
+  EXPECT_DOUBLE_EQ(pts[0].mean, 9.0);
+}
+
+TEST(Stats, TimeSeriesMergeCombinesOverlappingWindows) {
+  TimeSeries a(100), b(100);
+  a.add(10, 1.0);
+  a.add(250, 5.0);
+  b.add(20, 3.0);   // overlaps a's first window
+  b.add(400, 8.0);  // new window
+  a.merge(b);
+  auto pts = a.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].window_start, 0u);
+  EXPECT_EQ(pts[0].count, 2u);
+  EXPECT_DOUBLE_EQ(pts[0].mean, 2.0);
+  EXPECT_EQ(pts[1].window_start, 200u);
+  EXPECT_EQ(pts[2].window_start, 400u);
+  EXPECT_DOUBLE_EQ(pts[2].mean, 8.0);
 }
 
 // ------------------------------------------------------------------ config

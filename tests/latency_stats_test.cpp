@@ -94,5 +94,29 @@ TEST(LatencyStats, BreakdownComponentsSumToAverage) {
   EXPECT_NEAR(b.total(), s.avg_latency(), 1e-9);
 }
 
+TEST(LatencyStats, DefaultHistogramCapIs4096) {
+  LatencyStats s(3);
+  s.record(rec(0, 5000, 2, 1, 0, 1));  // latency beyond the default cap
+  s.record(rec(0, 100, 2, 1, 0, 1));
+  EXPECT_EQ(s.hist_overflow(), 1u);
+  // avg_latency uses the exact accumulator and is NOT clamped...
+  EXPECT_DOUBLE_EQ(s.avg_latency(), 2550.0);
+  // ...but percentiles saturate at the cap instead of reporting 5000.
+  EXPECT_LE(s.latency_percentile(99), 4096.0);
+}
+
+TEST(LatencyStats, ConfigurableHistogramCap) {
+  LatencyStats small(3, 0, /*hist_max=*/64);
+  LatencyStats large(3, 0, /*hist_max=*/16384);
+  for (Cycle lat : {40, 100, 5000}) {
+    small.record(rec(0, lat, 2, 1, 0, 1));
+    large.record(rec(0, lat, 2, 1, 0, 1));
+  }
+  EXPECT_EQ(small.hist_overflow(), 2u);  // 100 and 5000 exceed 64
+  EXPECT_EQ(large.hist_overflow(), 0u);  // 16384 holds them all
+  EXPECT_LE(small.latency_percentile(99), 64.0);
+  EXPECT_GT(large.latency_percentile(99), 100.0);
+}
+
 }  // namespace
 }  // namespace flov
