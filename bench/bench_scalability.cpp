@@ -9,6 +9,7 @@
 //   * gFLOV's spike peak (none expected) and its average transition time,
 //   * steady-state average latency for both.
 #include <algorithm>
+#include <chrono>
 
 #include "bench_util.hpp"
 #include "flov/flov_network.hpp"
@@ -60,7 +61,14 @@ int main(int argc, char** argv) {
   Config cfg;
   cfg.parse_args(argc, argv);
   const Cycle total = cfg.get_int("measure", 30000) + 10000;
-  const int jobs = cfg.get_int("jobs", 0);
+  // threads= : per-run domain workers (noc.step_threads) for every cell.
+  // Results are bit-identical at any value; only wall time changes.
+  const int threads = static_cast<int>(cfg.get_int("threads", 1));
+  // Budget the cell pool against the intra-run workers so the bench does
+  // not oversubscribe (jobs x threads ~ core count).
+  const int jobs = resolve_jobs(static_cast<int>(cfg.get_int("jobs", 0)),
+                                threads);
+  ManifestSink sink(argc, argv, "bench_scalability");
 
   // One pooled task per (mesh size, system) cell; each builds and drives
   // its own network end to end.
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
   struct Row {
     Result rp, gf;
     Cycle rp_reconfig = 0;
+    double rp_wall = 0.0, gf_wall = 0.0;
   };
   std::vector<Row> rows(4);
   parallel_run(8, jobs, [&](int i) {
@@ -75,6 +84,8 @@ int main(int argc, char** argv) {
     NocParams p;
     p.width = k;
     p.height = k;
+    p.step_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
     if (i % 2 == 0) {
       // RP: Phase-I grows with the router count (route computation at the
       // FM plus per-router table distribution) — c1 + c2 * N.
@@ -83,27 +94,76 @@ int main(int argc, char** argv) {
       RpNetwork rp(p, EnergyParams{}, fm);
       rows[i / 2].rp = drive(rp, p, /*change_at=*/20000, total, 11);
       rows[i / 2].rp_reconfig = rp.fabric_manager().last_reconfig_duration();
+      rows[i / 2].rp_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
     } else {
       FlovNetwork gf(p, FlovMode::kGeneralized, EnergyParams{});
       rows[i / 2].gf = drive(gf, p, 20000, total, 11);
+      rows[i / 2].gf_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
     }
   });
 
   print_header(
       "Scalability — one gating change mid-run, distributed gFLOV vs "
       "centralized RP");
-  std::printf("%-8s | %12s %12s %14s | %12s %12s\n", "mesh", "RP latency",
-              "RP peak", "RP reconfig", "gFLOV lat", "gFLOV peak");
+  std::printf("(step threads per run: %d)\n", threads);
+  std::printf("%-8s | %12s %12s %14s %9s | %12s %12s %9s\n", "mesh",
+              "RP latency", "RP peak", "RP reconfig", "RP wall", "gFLOV lat",
+              "gFLOV peak", "gF wall");
 
   for (int i = 0; i < 4; ++i) {
     const int k = sizes[i];
-    std::printf("%-8s | %12.2f %12.2f %14llu | %12.2f %12.2f\n",
+    std::printf("%-8s | %12.2f %12.2f %14llu %8.2fs | %12.2f %12.2f %8.2fs\n",
                 (std::to_string(k) + "x" + std::to_string(k)).c_str(),
                 rows[i].rp.avg_latency, rows[i].rp.peak_window,
                 static_cast<unsigned long long>(rows[i].rp_reconfig),
-                rows[i].gf.avg_latency, rows[i].gf.peak_window);
+                rows[i].rp_wall, rows[i].gf.avg_latency,
+                rows[i].gf.peak_window, rows[i].gf_wall);
   }
   std::printf("\nRP's stall (and the latency spike behind it) grows with the "
               "mesh; gFLOV's distributed handshake does not.\n");
+
+  if (sink.enabled()) {
+    // Reuse the sweep-manifest shape: one point per (mesh, scheme) cell,
+    // with the bench figures as per-point gauges (wall_seconds included —
+    // this artifact records performance, it is not a determinism gate).
+    std::vector<SyntheticExperimentConfig> points;
+    std::vector<RunResult> results;
+    for (int i = 0; i < 4; ++i) {
+      for (int s = 0; s < 2; ++s) {
+        SyntheticExperimentConfig ex;
+        ex.noc.width = sizes[i];
+        ex.noc.height = sizes[i];
+        ex.noc.step_threads = threads;
+        ex.pattern = "uniform";
+        ex.inj_rate_flits = 0.02;
+        ex.seed = 11;
+        points.push_back(ex);
+        RunResult r;
+        const Result& res = s == 0 ? rows[i].rp : rows[i].gf;
+        r.scheme = s == 0 ? "RP" : "gFLOV";
+        r.avg_latency = res.avg_latency;
+        r.metrics = std::make_shared<telemetry::MetricsRegistry>();
+        r.metrics->gauge("bench.avg_latency") = res.avg_latency;
+        r.metrics->gauge("bench.peak_window") = res.peak_window;
+        r.metrics->gauge("bench.step_threads") = threads;
+        r.metrics->gauge("bench.wall_seconds") =
+            s == 0 ? rows[i].rp_wall : rows[i].gf_wall;
+        if (s == 0) {
+          r.metrics->gauge("bench.rp_reconfig_cycles") =
+              static_cast<double>(rows[i].rp_reconfig);
+        }
+        results.push_back(std::move(r));
+      }
+    }
+    SweepOptions so;
+    so.jobs = jobs;
+    sink.write(points, results, so);
+  }
   return 0;
 }

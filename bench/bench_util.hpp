@@ -92,6 +92,9 @@ class ManifestSink {
       : name_(bench_name), start_(std::chrono::steady_clock::now()) {
     cfg_.parse_args(argc, argv);
     path_ = cfg_.get_string("manifest", "");
+    // json= is an accepted alias (used by benches whose primary output is
+    // the human table and the manifest is a machine-readable side artifact).
+    if (path_.empty()) path_ = cfg_.get_string("json", "");
   }
 
   bool enabled() const { return !path_.empty(); }

@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
 
   SyntheticExperimentConfig ex;
   ex.noc = NocParams::from_config(cfg);
+  // threads= is shorthand for noc.step_threads= (intra-run domain workers;
+  // bit-identical results at any value — see docs/PERFORMANCE.md).
+  ex.noc.step_threads =
+      static_cast<int>(cfg.get_int("threads", ex.noc.step_threads));
   ex.energy = EnergyParams::from_config(cfg);
   ex.scheme = scheme_from_string(cfg.get_string("scheme", "gflov"));
   ex.pattern = cfg.get_string("pattern", "uniform");

@@ -16,16 +16,19 @@ document has its required fields and a well-formed embedded metrics
 registry.
 
 --diff-manifests: strips the VOLATILE fields (wall_seconds, jobs,
-trace_path — the only fields allowed to differ between a serial and a
-parallel sweep of the same configuration) recursively from both
-documents, then compares byte-for-byte. Exit 1 on any other difference:
-this is the sweep-determinism gate.
+trace_path, threads, noc.step_threads — the only fields allowed to
+differ between a serial and a parallel run/sweep of the same
+configuration) recursively from both documents, then compares
+byte-for-byte. Exit 1 on any other difference: this is the
+serial-vs-parallel determinism gate, for both sweep-level (jobs=) and
+intra-run (threads= domain workers) parallelism.
 """
 import argparse
 import json
 import sys
 
-VOLATILE_KEYS = {"wall_seconds", "jobs", "trace_path"}
+VOLATILE_KEYS = {"wall_seconds", "jobs", "trace_path", "threads",
+                 "noc.step_threads"}
 
 RUN_SCHEMA = "flyover-run-manifest-v1"
 SWEEP_SCHEMA = "flyover-sweep-manifest-v1"

@@ -1,0 +1,113 @@
+// Grow-only ring buffer used on the simulator's hot path (channel queues,
+// input-VC buffers) in place of std::deque.
+//
+// std::deque allocates/frees map blocks as elements churn through it, which
+// shows up as allocator traffic in BM_GFlovCycle once everything else is
+// cheap. This ring instead keeps a power-of-two storage vector that only
+// ever grows: steady state does zero allocations regardless of how many
+// elements pass through. pop_front leaves the vacated slot constructed (the
+// payloads here are trivially-copyable flit/credit PODs), so elements must
+// be default-constructible and cheap to leave alive.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace flov {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() { return store_[head_]; }
+  const T& front() const { return store_[head_]; }
+  T& back() { return store_[wrap(head_ + size_ - 1)]; }
+  const T& back() const { return store_[wrap(head_ + size_ - 1)]; }
+
+  T& operator[](std::size_t i) { return store_[wrap(head_ + i)]; }
+  const T& operator[](std::size_t i) const { return store_[wrap(head_ + i)]; }
+
+  void push_back(const T& v) { *slot_for_push() = v; }
+  void push_back(T&& v) { *slot_for_push() = std::move(v); }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    *slot_for_push() = T(std::forward<Args>(args)...);
+  }
+
+  void pop_front() {
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Forward iterator over [front, back] in queue order; enough for
+  /// range-for (including structured bindings over pair elements).
+  template <typename Ring, typename Value>
+  class Iter {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Value;
+    using difference_type = std::ptrdiff_t;
+    using pointer = Value*;
+    using reference = Value&;
+
+    Iter(Ring* ring, std::size_t pos) : ring_(ring), pos_(pos) {}
+    reference operator*() const { return (*ring_)[pos_]; }
+    pointer operator->() const { return &(*ring_)[pos_]; }
+    Iter& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return pos_ == o.pos_; }
+    bool operator!=(const Iter& o) const { return pos_ != o.pos_; }
+
+   private:
+    Ring* ring_;
+    std::size_t pos_;
+  };
+
+  using iterator = Iter<RingBuffer, T>;
+  using const_iterator = Iter<const RingBuffer, const T>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, size_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  std::size_t wrap(std::size_t i) const { return i & (store_.size() - 1); }
+
+  T* slot_for_push() {
+    if (size_ == store_.size()) grow();
+    T* slot = &store_[wrap(head_ + size_)];
+    ++size_;
+    return slot;
+  }
+
+  void grow() {
+    const std::size_t cap = store_.empty() ? 8 : store_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(store_[wrap(head_ + i)]);
+    }
+    store_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> store_;  ///< power-of-two capacity (or empty)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace flov

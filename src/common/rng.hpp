@@ -49,4 +49,26 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// splitmix64 finalizer: a stateless avalanche mix. Used to derive
+/// schedule-independent pseudo-random values from identifying tuples
+/// (seed, packet id, link, ...) where a sequential generator would make
+/// the outcome depend on global event order.
+constexpr std::uint64_t mix_u64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Mixes an additional word into a running hash (order-sensitive).
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  return mix_u64(h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2)));
+}
+
+/// Stateless Bernoulli trial: true with probability p, decided purely by
+/// the hash h (uses the top 53 bits, matching Rng::next_double's mapping).
+constexpr bool hash_bool(std::uint64_t h, double p) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
 }  // namespace flov

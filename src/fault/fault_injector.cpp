@@ -9,8 +9,9 @@ FaultInjector::FaultInjector(const FaultParams& params, int num_nodes)
     : params_(params),
       num_nodes_(num_nodes),
       signal_rng_(params.seed * 0x9E3779B97F4A7C15ull + 1),
-      flit_rng_(params.seed * 0xBF58476D1CE4E5B9ull + 2),
-      spurious_rng_(params.seed * 0x94D049BB133111EBull + 3) {
+      spurious_rng_(params.seed * 0x94D049BB133111EBull + 3),
+      flit_drop_seed_(mix_u64(params.seed * 0xBF58476D1CE4E5B9ull + 2)),
+      flit_delay_seed_(mix_u64(params.seed * 0xBF58476D1CE4E5B9ull + 4)) {
   FLOV_CHECK(num_nodes_ > 0, "fault injector needs a non-empty mesh");
   FLOV_CHECK(params_.signal_delay_max >= 1 && params_.flit_delay_max >= 1,
              "fault delay maxima must be >= 1 cycle");
@@ -39,27 +40,41 @@ bool FaultInjector::duplicate_signal(const HsMessage& msg) {
   return true;
 }
 
-std::optional<Cycle> FaultInjector::flit_fate(const Flit& f) {
-  // Drops are packet-coherent: the drop roll happens on head flits only,
-  // and the rest of the worm is then swallowed at the same link (flits of
-  // one packet all traverse it, in order). A mid-packet hole would wedge
+std::optional<Cycle> FaultInjector::flit_fate(const Flit& f,
+                                              std::uint32_t link_key,
+                                              Cycle now) {
+  // Drops are packet-coherent per link: the fate is a pure hash of
+  // (seed, packet, link), so EVERY flit of a worm rolls the same fate at a
+  // given link — the head dies on the wire and the body flits that follow
+  // it there are swallowed by the same roll. A mid-packet hole would wedge
   // wormhole VC state machines — a headless body has no route, a tail-less
   // worm never frees its VC — which is router corruption, not a wire fault.
+  // (Flits of the packet pass earlier links because the head passed those
+  // same per-link rolls too.)
   if (params_.flit_drop_rate > 0.0) {
-    if (dropped_packets_.count(f.packet_id) != 0) {
-      counters_.flits_dropped++;
-      return std::nullopt;
-    }
-    if (f.head && flit_rng_.next_bool(params_.flit_drop_rate)) {
-      counters_.flits_dropped++;
-      dropped_packets_.insert(f.packet_id);
+    const std::uint64_t h =
+        hash_mix(hash_mix(flit_drop_seed_, f.packet_id), link_key);
+    if (hash_bool(h, params_.flit_drop_rate)) {
+      counters_.flits_dropped.fetch_add(1, std::memory_order_relaxed);
+      if (f.head) {
+        std::lock_guard<std::mutex> lock(dropped_packets_mu_);
+        dropped_packets_.insert(f.packet_id);
+      }
       return std::nullopt;
     }
   }
-  if (params_.flit_delay_rate > 0.0 &&
-      flit_rng_.next_bool(params_.flit_delay_rate)) {
-    counters_.flits_delayed++;
-    return 1 + flit_rng_.next_below(params_.flit_delay_max);
+  if (params_.flit_delay_rate > 0.0) {
+    const std::uint64_t h = hash_mix(
+        hash_mix(hash_mix(hash_mix(flit_delay_seed_, f.packet_id),
+                          static_cast<std::uint64_t>(f.flit_index)),
+                 link_key),
+        static_cast<std::uint64_t>(now));
+    if (hash_bool(h, params_.flit_delay_rate)) {
+      counters_.flits_delayed.fetch_add(1, std::memory_order_relaxed);
+      return 1 + static_cast<Cycle>(
+                     mix_u64(h) %
+                     static_cast<std::uint64_t>(params_.flit_delay_max));
+    }
   }
   return Cycle{0};
 }

@@ -6,7 +6,9 @@
 // sequence independent of how often the other classes are consulted.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_set>
 
@@ -25,8 +27,12 @@ class FaultInjector {
     std::uint64_t signals_dropped = 0;
     std::uint64_t signals_delayed = 0;
     std::uint64_t signals_duplicated = 0;
-    std::uint64_t flits_dropped = 0;
-    std::uint64_t flits_delayed = 0;
+    /// Flit-fate counters are atomic: the channel fault hooks run on the
+    /// sending router's domain worker during parallel stepping. Relaxed
+    /// increments suffice — each flit's fate is schedule-independent, so
+    /// the totals are exact either way; the step barrier publishes them.
+    std::atomic<std::uint64_t> flits_dropped{0};
+    std::atomic<std::uint64_t> flits_delayed{0};
     std::uint64_t spurious_wakeups = 0;
   };
 
@@ -41,15 +47,22 @@ class FaultInjector {
   Cycle signal_extra_delay();
   bool duplicate_signal(const HsMessage& msg);
 
-  /// Flit fate for one link traversal: nullopt = dropped on the wire,
-  /// otherwise the extra delay in cycles (usually 0).
-  std::optional<Cycle> flit_fate(const Flit& f);
+  /// Flit fate for one traversal of the link identified by `link_key`
+  /// (sender id * 4 + direction): nullopt = dropped on the wire, otherwise
+  /// the extra delay in cycles (usually 0). Stateless by design: the fate
+  /// is a pure hash of (seed, packet, link[, flit, cycle]), so it does not
+  /// depend on the global order links consult the injector in — the
+  /// property domain-parallel stepping needs. May be called concurrently
+  /// from domain workers.
+  std::optional<Cycle> flit_fate(const Flit& f, std::uint32_t link_key,
+                                 Cycle now);
 
   /// Spurious wakeup roll for this cycle; kInvalidNode when none fires.
   NodeId spurious_wakeup_target(Cycle now);
 
   /// Packets that lost at least one flit to a drop fault (the verifier
-  /// exempts them from exact conservation).
+  /// exempts them from exact conservation). Serial control-plane callers
+  /// only — runs between step barriers, which publish the workers' inserts.
   bool packet_faulted(std::uint64_t packet_id) const {
     return dropped_packets_.count(packet_id) != 0;
   }
@@ -59,9 +72,13 @@ class FaultInjector {
   FaultParams params_;
   int num_nodes_;
   Rng signal_rng_;
-  Rng flit_rng_;
   Rng spurious_rng_;
+  std::uint64_t flit_drop_seed_;
+  std::uint64_t flit_delay_seed_;
   Counters counters_;
+  /// Guards dropped_packets_ against concurrent inserts from domain
+  /// workers (head-drop bookkeeping only — never on the fault-free path).
+  std::mutex dropped_packets_mu_;
   std::unordered_set<std::uint64_t> dropped_packets_;
 };
 

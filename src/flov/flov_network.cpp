@@ -26,12 +26,24 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
   trigger_sent_.assign(net_->num_nodes(), false);
   trigger_sent_at_.assign(net_->num_nodes(), 0);
   hscs_.reserve(net_->num_nodes());
+  const bool parallel = net_->num_domains() > 1;
+  if (parallel) staged_wakeups_.resize(net_->num_domains());
   for (NodeId id = 0; id < net_->num_nodes(); ++id) {
     hscs_.push_back(std::make_unique<HandshakeController>(
         id, mode_, params_, &net_->router(id), &fabric_, this));
-    net_->router(id).set_wakeup_callback([this, id](NodeId target) {
-      request_wakeup(id, target, current_cycle_);
-    });
+    if (parallel) {
+      // Workers may not touch HSC/fabric state: stage the request and let
+      // step() replay it between barriers (same order as serial, see
+      // staged_wakeups_).
+      const int dom = net_->domain_of(id);
+      net_->router(id).set_wakeup_callback([this, id, dom](NodeId target) {
+        staged_wakeups_[dom].emplace_back(id, target);
+      });
+    } else {
+      net_->router(id).set_wakeup_callback([this, id](NodeId target) {
+        request_wakeup(id, target, current_cycle_);
+      });
+    }
   }
   if (faults.any()) {
     fault_ = std::make_unique<FaultInjector>(faults, net_->num_nodes());
@@ -45,12 +57,15 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
           // On a drop, tell the network: the flit was counted as injected
           // but will never eject, and the cached in-network count must not
           // keep carrying it.
-          ch->set_fault_hook([f = fault_.get(), net = net_.get(), id](
-                                 Cycle now,
-                                 const Flit& flit) -> std::optional<Cycle> {
-            const std::optional<Cycle> fate = f->flit_fate(flit);
+          const std::uint32_t link_key =
+              static_cast<std::uint32_t>(id) * 4u +
+              static_cast<std::uint32_t>(dir_index(d));
+          ch->set_fault_hook([f = fault_.get(), net = net_.get(), id,
+                              link_key](Cycle now, const Flit& flit)
+                                 -> std::optional<Cycle> {
+            const std::optional<Cycle> fate = f->flit_fate(flit, link_key, now);
             if (!fate.has_value()) {
-              net->note_flit_dropped();
+              net->note_flit_dropped(id);
               FLOV_TRACE(telemetry::kTraceFault,
                          telemetry::TraceEventType::kFaultFlitDrop, now, id,
                          flit.packet_id, flit.flit_index);
@@ -70,6 +85,15 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
 void FlovNetwork::step(Cycle now) {
   current_cycle_ = now;
   net_->step(now);
+  // Replay wakeup requests the domain workers staged during net_->step in
+  // domain order = router-id order = the exact order the serial schedule
+  // would have issued them in.
+  for (auto& stage : staged_wakeups_) {
+    for (const auto& [requester, target] : stage) {
+      request_wakeup(requester, target, now);
+    }
+    stage.clear();
+  }
   fabric_.step(now);
   for (auto& h : hscs_) h->step(now);
   if (fault_) {
@@ -185,8 +209,8 @@ void FlovNetwork::handover_flow(NodeId b, Direction flow, bool waking,
   if (tracker != kInvalidNode) {
     net_->wake_router(tracker);
     if (down != kInvalidNode) {
-      std::vector<int> free =
-          net_->router(down).input_free_slots(opposite(flow));
+      std::vector<int>& free = free_slots_scratch_;
+      net_->router(down).input_free_slots(opposite(flow), free);
       const std::vector<int> inflight = inflight_per_vc(tracker, flow, down);
       for (std::size_t v = 0; v < free.size(); ++v) {
         free[v] -= inflight[v];

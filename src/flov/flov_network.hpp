@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -141,6 +142,16 @@ class FlovNetwork final : public NocSystem {
   /// recovery).
   std::vector<bool> trigger_sent_;
   std::vector<Cycle> trigger_sent_at_;
+  /// Per-domain staging for wakeup requests raised inside Network::step when
+  /// stepping domain-parallel: request_wakeup mutates HSC/fabric state shared
+  /// across domains, so workers only record (requester, target) here and
+  /// step() replays the requests in domain order between barriers. Replay
+  /// order equals serial callback order (routers step in id order within a
+  /// domain, domains are id-ordered), so the schedule stays bit-identical.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> staged_wakeups_;
+  /// Scratch for Router::input_free_slots during handovers (control-plane
+  /// serial code; reused to keep handovers allocation-free).
+  std::vector<int> free_slots_scratch_;
   std::uint64_t trigger_resends_ = 0;
   std::uint64_t recoveries_ = 0;
   Cycle current_cycle_ = 0;

@@ -32,6 +32,18 @@ class WakeList {
   bool live(int i) const { return live_[static_cast<std::size_t>(i)] != 0; }
   int size() const { return static_cast<int>(live_.size()); }
 
+  /// ORs every set flag into `dst` and clears this list. Used at the
+  /// domain-parallel barrier to merge per-domain staged wake marks into the
+  /// real liveness list (marks are idempotent, so merge order is free).
+  void drain_into(WakeList& dst) {
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i]) {
+        dst.live_[i] = 1;
+        live_[i] = 0;
+      }
+    }
+  }
+
  private:
   std::vector<std::uint8_t> live_;
 };

@@ -3,16 +3,21 @@
 // Models a wire/link: items sent during cycle t become visible to the
 // receiver at t + latency. Because receivers only ever poll items with
 // arrival <= current cycle and senders always tag arrival >= current+1,
-// the per-cycle component update order does not affect results.
+// the per-cycle component update order does not affect results. That same
+// >= 1-cycle lookahead is what makes domain-parallel stepping bit-identical
+// to serial (docs/PERFORMANCE.md, "The lookahead invariant"): a channel
+// crossing a domain boundary runs in staging mode, where sends land in a
+// sender-private buffer that the barrier merges into the visible queue
+// before any receiver could legally observe them.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "noc/active_set.hpp"
 
@@ -36,10 +41,25 @@ class Channel {
 
   /// Active-set hook: every send re-arms the receiving component's liveness
   /// flag so Network::step knows it has (future) work. A single store per
-  /// send; unset channels (unit tests) skip it.
+  /// send; unset channels (unit tests) skip it. For boundary channels the
+  /// list is the sending domain's private wake stage, so the mark itself
+  /// never races.
   void set_wake_target(WakeList* list, int index) {
     wake_list_ = list;
     wake_index_ = index;
+  }
+
+  /// Staging mode (domain-parallel stepping): sends append to a
+  /// sender-private buffer instead of the receiver-visible queue;
+  /// merge_staged() publishes them at the barrier. Only the single sender
+  /// touches staged_ during the parallel phase, so no locks are needed.
+  void set_staging(bool on) { staging_ = on; }
+
+  /// Moves staged sends into the visible queue (barrier only; single
+  /// sender means staged order == serial send order).
+  void merge_staged() {
+    for (auto& e : staged_) queue_.push_back(std::move(e));
+    staged_.clear();
   }
 
   /// Enqueues an item during cycle `now`; it arrives at now + latency.
@@ -52,14 +72,23 @@ class Channel {
       arrival += *fate;
       // A delayed item must not reorder the wire or let two items become
       // deliverable on the same cycle (single-recv consumers — the FLOV
-      // bypass latches — rely on >= 1-cycle spacing).
-      if (!queue_.empty() && arrival <= queue_.back().first) {
-        arrival = queue_.back().first + 1;
+      // bypass latches — rely on >= 1-cycle spacing). The clamp keys off
+      // the last *sent* arrival, not the queue back: with staging on, the
+      // most recent send may still be in staged_, and a consumed item can
+      // never clamp anyway (consumers only pop arrivals <= now < arrival).
+      if (have_sent_ && arrival <= last_arrival_) {
+        arrival = last_arrival_ + 1;
       }
     }
-    FLOV_DCHECK(queue_.empty() || queue_.back().first <= arrival,
+    FLOV_DCHECK(!have_sent_ || last_arrival_ <= arrival,
                 "channel send out of order");
-    queue_.emplace_back(arrival, std::move(item));
+    last_arrival_ = arrival;
+    have_sent_ = true;
+    if (staging_) {
+      staged_.emplace_back(arrival, std::move(item));
+    } else {
+      queue_.emplace_back(arrival, std::move(item));
+    }
   }
 
   /// Pops the single item arriving at or before `now`, if any.
@@ -84,6 +113,11 @@ class Channel {
     return scratch_;
   }
 
+  // Receiver-side views: deliberately queue-only. During the parallel
+  // phase staged_ belongs to the sender's worker (reading it here would
+  // race AND make a receiver's quiescent check depend on worker timing);
+  // outside the parallel phase staged_ is always empty (merged at the
+  // barrier), so external walks see exactly what serial runs see.
   bool empty() const { return queue_.empty(); }
   std::size_t in_flight() const { return queue_.size(); }
 
@@ -92,10 +126,15 @@ class Channel {
   /// code only clears CREDIT channels: clearing a flit channel would desync
   /// the cached in-network flit counters (tests that simulate unaccounted
   /// loss this way must not touch the cached getters afterwards).
-  void clear() { queue_.clear(); }
+  void clear() {
+    queue_.clear();
+    staged_.clear();
+    have_sent_ = false;
+  }
 
   /// Visits every in-flight item (read-only); used by the FLOV credit
-  /// handover to account for flits still on the wire.
+  /// handover to account for flits still on the wire. Control-plane only
+  /// (runs between barriers, when staged_ is empty).
   template <typename F>
   void for_each_in_flight(F&& f) const {
     for (const auto& [cycle, item] : queue_) f(item);
@@ -103,11 +142,15 @@ class Channel {
 
  private:
   Cycle latency_;
-  std::deque<std::pair<Cycle, T>> queue_;
+  RingBuffer<std::pair<Cycle, T>> queue_;
+  std::vector<std::pair<Cycle, T>> staged_;  ///< sender-private (parallel)
   std::vector<T> scratch_;  ///< recv_all reuse buffer (keeps its capacity)
   FaultHook fault_hook_;
   WakeList* wake_list_ = nullptr;
   int wake_index_ = -1;
+  Cycle last_arrival_ = 0;   ///< arrival tag of the most recent send
+  bool have_sent_ = false;
+  bool staging_ = false;
 };
 
 }  // namespace flov

@@ -5,10 +5,10 @@
 // enforces at least one cycle per pipeline stage.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "common/geometry.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "noc/flit.hpp"
 
@@ -22,7 +22,7 @@ enum class VcState : std::uint8_t {
 };
 
 struct InputVc {
-  std::deque<Flit> buffer;
+  RingBuffer<Flit> buffer;
   VcState state = VcState::kIdle;
 
   /// Earliest cycle the next pipeline stage may execute.
@@ -66,12 +66,13 @@ struct InputPort {
   }
 
   /// Free buffer slots per VC (used by the FLOV credit-copy handover).
-  std::vector<int> free_slots(int depth) const {
-    std::vector<int> out(vcs.size());
+  /// Fills a caller-provided scratch buffer — callers on per-cycle paths
+  /// keep a reusable vector so this never allocates in steady state.
+  void free_slots(int depth, std::vector<int>& out) const {
+    out.resize(vcs.size());
     for (std::size_t v = 0; v < vcs.size(); ++v) {
       out[v] = depth - vcs[v].occupancy();
     }
-    return out;
   }
 };
 

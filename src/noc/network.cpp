@@ -1,5 +1,7 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -10,6 +12,31 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
     : params_(params), geom_(params.width, params.height) {
   params_.validate();
   const int n = geom_.num_nodes();
+
+  // Row-band domain decomposition. Domains are contiguous node-id ranges
+  // (ids are row-major), so "domain order" and "node-id order" agree —
+  // every barrier-side replay below leans on that. Sized FIRST: the NIs
+  // below capture pointers into counter_shards_.
+  num_domains_ = std::min(params_.step_threads, params_.height);
+  FLOV_CHECK(num_domains_ >= 1, "need at least one step domain");
+  node_domain_.resize(static_cast<std::size_t>(n));
+  domain_range_.resize(static_cast<std::size_t>(num_domains_));
+  counter_shards_.resize(static_cast<std::size_t>(num_domains_));
+  for (int d = 0; d < num_domains_; ++d) {
+    const int row_lo = d * params_.height / num_domains_;
+    const int row_hi = (d + 1) * params_.height / num_domains_;
+    domain_range_[d] = {row_lo * params_.width, row_hi * params_.width};
+    for (NodeId id = domain_range_[d].first; id < domain_range_[d].second;
+         ++id) {
+      node_domain_[id] = d;
+    }
+  }
+  if (num_domains_ > 1) {
+    wake_stages_.resize(static_cast<std::size_t>(num_domains_));
+    for (auto& s : wake_stages_) s.init(n, /*live=*/false);
+    eject_stage_.resize(static_cast<std::size_t>(num_domains_));
+  }
+
   routers_.reserve(n);
   nis_.reserve(n);
   flit_out_.resize(n);
@@ -18,10 +45,10 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
   for (NodeId id = 0; id < n; ++id) {
     routers_.push_back(
         std::make_unique<Router>(id, geom_, params_, routing, power));
-    nis_.push_back(
-        std::make_unique<NetworkInterface>(id, params_, &packet_id_counter_));
+    nis_.push_back(std::make_unique<NetworkInterface>(id, params_));
     routers_[id]->set_wake_target(&router_live_, id);
-    nis_[id]->set_fabric_hooks(&counters_, &ni_live_, id);
+    nis_[id]->set_fabric_hooks(&counter_shards_[node_domain_[id]], &ni_live_,
+                               id);
     flit_out_[id].fill(nullptr);
   }
 
@@ -37,7 +64,10 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
   // Inter-router links: one flit channel and one credit back-channel per
   // directed edge. Every channel wakes its RECEIVER on send — the sender is
   // already live (it just stepped), and the receiver must not stay parked
-  // while something is in flight toward it.
+  // while something is in flight toward it. Edges whose endpoints lie in
+  // different domains (only North/South links can — rows never split) are
+  // put into staging mode: sends collect sender-side and the wake mark goes
+  // to the sender's domain stage, both merged at the barrier.
   for (NodeId a = 0; a < n; ++a) {
     for (Direction d : kMeshDirections) {
       const NodeId b = geom_.neighbor(a, d);
@@ -45,17 +75,28 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
       Channel<Flit>* fch = new_flit_channel(params_.link_latency);
       routers_[a]->connect_flit_out(d, fch);
       routers_[b]->connect_flit_in(opposite(d), fch);
-      fch->set_wake_target(&router_live_, b);
       flit_out_[a][dir_index(d)] = fch;
 
       Channel<Credit>* cch = new_credit_channel(1);
       routers_[b]->connect_credit_out(opposite(d), cch);
       routers_[a]->connect_credit_in(d, cch);
-      cch->set_wake_target(&router_live_, a);
+
+      if (node_domain_[a] != node_domain_[b]) {
+        // Flit channel: sender a, receiver b. Credit channel: sender b.
+        fch->set_staging(true);
+        fch->set_wake_target(&wake_stages_[node_domain_[a]], b);
+        boundary_flit_.push_back(fch);
+        cch->set_staging(true);
+        cch->set_wake_target(&wake_stages_[node_domain_[b]], a);
+        boundary_credit_.push_back(cch);
+      } else {
+        fch->set_wake_target(&router_live_, b);
+        cch->set_wake_target(&router_live_, a);
+      }
     }
   }
 
-  // Local ports: NI <-> router.
+  // Local ports: NI <-> router. Always node-local, never cross a domain.
   for (NodeId id = 0; id < n; ++id) {
     Channel<Flit>* inj = new_flit_channel(1);
     nis_[id]->connect_to_router(inj);
@@ -78,25 +119,48 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
     routers_[id]->connect_credit_in(Direction::Local, cr_down);
     cr_down->set_wake_target(&router_live_, id);
   }
+
+  if (num_domains_ > 1) {
+    // With >1 domain the NIs report ejections into per-domain stages; the
+    // barrier replays them in node-id order through the stored callback +
+    // observers (see set_eject_callback).
+    for (NodeId id = 0; id < n; ++id) {
+      const int dom = node_domain_[id];
+      nis_[id]->set_eject_callback([this, dom](const PacketRecord& rec) {
+        eject_stage_[dom].push_back(rec);
+      });
+    }
+    pool_ = std::make_unique<StepPool>(
+        num_domains_ - 1, [this](int w, Cycle now) {
+#if defined(FLYOVER_TRACING) && FLYOVER_TRACING
+          telemetry::Tracer* t = step_tracer_;
+          telemetry::TraceScope scope(t ? t->shard(w + 1) : nullptr);
+#endif
+          step_domain(w + 1, now);
+        });
+  }
 }
 
-void Network::step(Cycle now) {
+void Network::step_domain(int dom, Cycle now) {
   // Node-id order, same as stepping everything: the only cross-router
   // ordering that is observable within a cycle is via shared callbacks
-  // (e.g. the wakeup-trigger dedup), and skipping a quiescent router is
-  // equivalent to stepping it (its step would be a pure no-op; its VA
-  // round-robin tick is replayed when it next runs — Router::step).
-  const int n = geom_.num_nodes();
-  for (NodeId id = 0; id < n; ++id) {
+  // (e.g. the wakeup-trigger dedup, which the FLOV layer stages and
+  // replays in id order), and skipping a quiescent router is equivalent to
+  // stepping it (its step would be a pure no-op; its VA round-robin tick
+  // is replayed when it next runs — Router::step).
+  const auto [lo, hi] = domain_range_[dom];
+  for (NodeId id = lo; id < hi; ++id) {
     if (!router_live_.live(id)) continue;
     Router& r = *routers_[id];
     r.step(now);
     // A quiescent router stays parked until a send/mode-switch re-arms it.
     // Note this runs AFTER the step: anything the step produced went out
     // through channels (marking the receivers), so clearing here is safe.
+    // Cross-domain arrivals the router cannot see yet (staged) re-mark it
+    // via the wake-stage merge at the barrier.
     if (r.quiescent()) router_live_.clear(id);
   }
-  for (NodeId id = 0; id < n; ++id) {
+  for (NodeId id = lo; id < hi; ++id) {
     if (!ni_live_.live(id)) continue;
     NetworkInterface& ni = *nis_[id];
     ni.step(now);
@@ -104,49 +168,105 @@ void Network::step(Cycle now) {
   }
 }
 
+void Network::merge_domains() {
+  // All merges below are deterministic folds in fixed (wiring or domain ==
+  // node-id) order; none depend on worker timing.
+  for (Channel<Flit>* ch : boundary_flit_) ch->merge_staged();
+  for (Channel<Credit>* ch : boundary_credit_) ch->merge_staged();
+  for (auto& stage : wake_stages_) stage.drain_into(router_live_);
+  for (auto& stage : eject_stage_) {
+    for (const PacketRecord& rec : stage) {
+      if (user_eject_cb_) user_eject_cb_(rec);
+      for (const auto& cb : eject_observers_) cb(rec);
+    }
+    stage.clear();
+  }
+}
+
+void Network::step(Cycle now) {
+  if (num_domains_ == 1) {
+    step_domain(0, now);
+    return;
+  }
+#if defined(FLYOVER_TRACING) && FLYOVER_TRACING
+  telemetry::Tracer* parent = telemetry::thread_trace_state().tracer;
+  if (parent != nullptr) parent->ensure_shards(num_domains_);
+  step_tracer_ = parent;  // published to workers by the pool's epoch fence
+  {
+    telemetry::TraceScope scope(parent ? parent->shard(0) : nullptr);
+    pool_->run_cycle(now, [this, now] { step_domain(0, now); });
+  }
+#else
+  pool_->run_cycle(now, [this, now] { step_domain(0, now); });
+#endif
+  merge_domains();
+}
+
 void Network::set_eject_callback(
     std::function<void(const PacketRecord&)> cb) {
+  if (num_domains_ > 1) {
+    // The NIs keep their staging callback; the user callback runs at the
+    // barrier replay instead.
+    user_eject_cb_ = std::move(cb);
+    return;
+  }
   for (auto& ni : nis_) ni->set_eject_callback(cb);
 }
 
 void Network::add_eject_callback(
     std::function<void(const PacketRecord&)> cb) {
+  if (num_domains_ > 1) {
+    eject_observers_.push_back(std::move(cb));
+    return;
+  }
   for (auto& ni : nis_) ni->add_eject_callback(cb);
 }
 
+FabricCounters Network::counters() const {
+  FabricCounters total;
+  for (const FabricCounters& s : counter_shards_) {
+    total.injected_flits += s.injected_flits;
+    total.ejected_flits += s.ejected_flits;
+    total.dropped_flits += s.dropped_flits;
+    total.queued_packets += s.queued_packets;
+    total.open_streams += s.open_streams;
+  }
+  return total;
+}
+
 std::uint64_t Network::in_network_flits() const {
-  const std::uint64_t cached = counters_.in_network();
+  const std::uint64_t cached = counters().in_network();
   FLOV_DCHECK(cached == recount_in_network_flits(),
               "cached in-network flit count drifted from recount");
   return cached;
 }
 
 bool Network::idle() const {
-  const bool cached = counters_.in_network() == 0 &&
-                      counters_.queued_packets == 0 &&
-                      counters_.open_streams == 0;
+  const FabricCounters c = counters();
+  const bool cached =
+      c.in_network() == 0 && c.queued_packets == 0 && c.open_streams == 0;
   FLOV_DCHECK(cached == recount_idle(), "cached idle() drifted from recount");
   return cached;
 }
 
 bool Network::in_flight_empty() const {
-  const bool cached =
-      counters_.in_network() == 0 && counters_.open_streams == 0;
+  const FabricCounters c = counters();
+  const bool cached = c.in_network() == 0 && c.open_streams == 0;
   FLOV_DCHECK(cached == recount_in_flight_empty(),
               "cached in_flight_empty() drifted from recount");
   return cached;
 }
 
 std::uint64_t Network::total_injected_flits() const {
-  return counters_.injected_flits;
+  return counters().injected_flits;
 }
 
 std::uint64_t Network::total_ejected_flits() const {
-  return counters_.ejected_flits;
+  return counters().ejected_flits;
 }
 
 std::uint64_t Network::total_queued_packets() const {
-  return counters_.queued_packets;
+  return counters().queued_packets;
 }
 
 std::uint64_t Network::recount_in_network_flits() const {
@@ -185,9 +305,10 @@ bool Network::recount_in_flight_empty() const {
 }
 
 void Network::publish_metrics(telemetry::MetricsRegistry& reg) const {
-  reg.counter("net.injected_flits") += counters_.injected_flits;
-  reg.counter("net.ejected_flits") += counters_.ejected_flits;
-  reg.counter("net.dropped_flits") += counters_.dropped_flits;
+  const FabricCounters c = counters();
+  reg.counter("net.injected_flits") += c.injected_flits;
+  reg.counter("net.ejected_flits") += c.ejected_flits;
+  reg.counter("net.dropped_flits") += c.dropped_flits;
   std::uint64_t traversed = 0, flown_over = 0, diversions = 0, captures = 0;
   for (const auto& r : routers_) {
     traversed += r->flits_traversed();

@@ -1,10 +1,19 @@
 // The k x k mesh: routers, network interfaces, and the channels that wire
 // them. The Network is policy-free — power-gating schemes (flov/, rp/) wrap
 // it and drive router modes, neighborhood views, and injection stalls.
+//
+// With params.step_threads > 1 the mesh is statically partitioned into
+// contiguous row-band domains, each stepped by its own worker under a
+// per-cycle barrier. Because every channel has latency >= 1, a send made at
+// cycle t is only observable at t+1 (docs/PERFORMANCE.md, "The lookahead
+// invariant"), so cross-domain traffic can be staged sender-side and merged
+// at the barrier: the parallel schedule is bit-identical to serial by
+// construction, not by sampling.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -15,7 +24,9 @@
 #include "noc/noc_params.hpp"
 #include "noc/router.hpp"
 #include "noc/routing_iface.hpp"
+#include "noc/step_pool.hpp"
 #include "power/power_tracker.hpp"
+#include "telemetry/trace.hpp"
 
 namespace flov {
 
@@ -39,6 +50,10 @@ class Network {
   const NetworkInterface& ni(NodeId id) const { return *nis_[id]; }
   int num_nodes() const { return geom_.num_nodes(); }
 
+  /// Row-band decomposition (1 domain == serial stepping).
+  int num_domains() const { return num_domains_; }
+  int domain_of(NodeId id) const { return node_domain_[id]; }
+
   /// Advances the fabric by one cycle. Active-set scheduled: routers and
   /// NIs whose step would provably be a no-op (power-gated with empty
   /// latches, or simply empty-handed — exactly the population FLOV
@@ -46,25 +61,36 @@ class Network {
   /// send toward them, a packet enqueue, a mode switch, or a handshake-
   /// driven wake_router()/wake_ni(). Iteration stays in node-id order, and
   /// skipped VA ticks are replayed (Router::step), so results are
-  /// bit-identical to stepping every component every cycle.
+  /// bit-identical to stepping every component every cycle. With more than
+  /// one domain, the domains run concurrently and the barrier then merges
+  /// staged cross-domain sends, wake marks and ejection records — in
+  /// domain (== node-id) order, preserving bit-identity.
   void step(Cycle now);
 
   /// Re-arm hooks for scheme layers (FLOV credit handovers, recovery
   /// scrubs) that mutate router/NI state without going through a channel.
+  /// Serial control-plane only (never from a domain worker).
   void wake_router(NodeId id) { router_live_.mark(id); }
   void wake_ni(NodeId id) { ni_live_.mark(id); }
   /// Counter hook for the fault layer: a flit was dropped on the wire after
   /// injection, so it will never reach an NI (keeps in_network_flits()
-  /// exact under flit-drop faults).
-  void note_flit_dropped() { counters_.dropped_flits++; }
+  /// exact under flit-drop faults). `sender` routes the increment to the
+  /// sending router's domain shard — fault hooks run on the sender's
+  /// worker during the parallel phase.
+  void note_flit_dropped(NodeId sender) {
+    counter_shards_[node_domain_[sender]].dropped_flits++;
+  }
 
   void enqueue(const PacketDescriptor& pkt) { nis_[pkt.src]->enqueue(pkt); }
 
-  /// Installs the same ejection callback on every NI.
+  /// Installs THE primary ejection callback (replaces any previous one but
+  /// keeps observers added with add_eject_callback). With multiple domains
+  /// the callback runs at the barrier, replayed in node-id order — callers
+  /// never need to be thread-safe.
   void set_eject_callback(std::function<void(const PacketRecord&)> cb);
 
-  /// Adds the same passive ejection observer on every NI (survives a later
-  /// set_eject_callback; used by the invariant verifier).
+  /// Adds a passive ejection observer notified after the primary callback
+  /// (survives a later set_eject_callback; used by the invariant verifier).
   void add_eject_callback(std::function<void(const PacketRecord&)> cb);
 
   /// Flits currently inside the fabric: router buffers + FLOV latches +
@@ -92,8 +118,10 @@ class Network {
   bool recount_idle() const;
   bool recount_in_flight_empty() const;
 
-  /// The cached aggregates (verifier drift check).
-  const FabricCounters& counters() const { return counters_; }
+  /// The cached aggregates (verifier drift check): an ordered fold of the
+  /// per-domain shards. Integer addition in fixed domain order, so the
+  /// result is exact and schedule-independent.
+  FabricCounters counters() const;
 
   /// Registers/updates the fabric-level metrics ("net.*") in `reg`:
   /// the FabricCounters aggregates plus per-router sums (switch
@@ -107,6 +135,11 @@ class Network {
   }
 
  private:
+  /// Steps domain `dom`'s routers then NIs, in node-id order.
+  void step_domain(int dom, Cycle now);
+  /// Barrier-side merges: staged channel sends, wake marks, ejections.
+  void merge_domains();
+
   NocParams params_;
   MeshGeometry geom_;
 
@@ -119,13 +152,43 @@ class Network {
 
   /// Active-set state: which routers/NIs must be stepped this cycle.
   /// Channel sends, enqueues, mode switches, and wake_*() re-arm entries;
-  /// step() clears an entry once the component proves quiescent.
+  /// step() clears an entry once the component proves quiescent. During the
+  /// parallel phase each domain only touches its own nodes' flags (distinct
+  /// bytes — no race); cross-domain marks go through wake_stages_.
   WakeList router_live_;
   WakeList ni_live_;
-  /// Incrementally maintained fabric aggregates (see active_set.hpp).
-  FabricCounters counters_;
 
-  std::uint64_t packet_id_counter_ = 1;
+  // --- domain decomposition (sized before any component is wired; the
+  // --- shard pointers handed to NIs must never move) ---
+  int num_domains_ = 1;
+  std::vector<int> node_domain_;                       ///< node -> domain
+  std::vector<std::pair<NodeId, NodeId>> domain_range_;  ///< [begin, end)
+  /// Per-domain FabricCounters; each NI (and the fault-drop hook) writes
+  /// only its own domain's shard. counters() folds them in domain order.
+  std::vector<FabricCounters> counter_shards_;
+  /// Per-domain staged router wake marks for cross-domain channel sends;
+  /// ORed into router_live_ at the barrier.
+  std::vector<WakeList> wake_stages_;
+  /// Channels whose sender and receiver live in different domains; they
+  /// run in staging mode and are merged (in wiring == deterministic order)
+  /// at the barrier. Only N/S inter-router links can cross row bands.
+  std::vector<Channel<Flit>*> boundary_flit_;
+  std::vector<Channel<Credit>*> boundary_credit_;
+  /// Per-domain ejection-record staging: with >1 domain the NIs' primary
+  /// callback appends here and the barrier replays user_eject_cb_ +
+  /// eject_observers_ in node-id order (LatencyStats accumulates doubles —
+  /// replay order must match serial exactly).
+  std::vector<std::vector<PacketRecord>> eject_stage_;
+  std::function<void(const PacketRecord&)> user_eject_cb_;
+  std::vector<std::function<void(const PacketRecord&)>> eject_observers_;
+  /// Workers for domains 1..D-1 (domain 0 steps on the calling thread).
+  std::unique_ptr<StepPool> pool_;
+#if defined(FLYOVER_TRACING) && FLYOVER_TRACING
+  /// The run's tracer while a parallel step is in flight; workers bind
+  /// their domain's shard ring from it (published by the pool's epoch
+  /// release/acquire pair).
+  telemetry::Tracer* step_tracer_ = nullptr;
+#endif
 };
 
 }  // namespace flov

@@ -5,15 +5,11 @@
 
 namespace flov {
 
-NetworkInterface::NetworkInterface(NodeId node, const NocParams& params,
-                                   std::uint64_t* packet_id_counter)
+NetworkInterface::NetworkInterface(NodeId node, const NocParams& params)
     : node_(node),
       params_(params),
-      packet_id_counter_(packet_id_counter),
       credits_(params.total_vcs(), params.buffer_depth),
-      vc_busy_(params.total_vcs(), false) {
-  FLOV_CHECK(packet_id_counter_ != nullptr, "NI needs a packet id counter");
-}
+      vc_busy_(params.total_vcs(), false) {}
 
 void NetworkInterface::step(Cycle now) {
   // Credits returned by the router for previously injected flits.
@@ -86,7 +82,10 @@ void NetworkInterface::inject(Cycle now) {
     if (chosen >= 0) {
       Stream s;
       s.pkt = pkt;
-      s.packet_id = (*packet_id_counter_)++;
+      s.packet_id = 1 + static_cast<std::uint64_t>(node_) +
+                    next_packet_seq_++ *
+                        static_cast<std::uint64_t>(params_.width) *
+                        static_cast<std::uint64_t>(params_.height);
       s.next_flit = 0;
       s.inject_cycle = now;
       vc_busy_[chosen] = true;

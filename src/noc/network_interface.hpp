@@ -44,8 +44,7 @@ struct PacketRecord {
 
 class NetworkInterface {
  public:
-  NetworkInterface(NodeId node, const NocParams& params,
-                   std::uint64_t* packet_id_counter);
+  NetworkInterface(NodeId node, const NocParams& params);
 
   // Wiring (non-owning), mirror of the router's local port.
   void connect_to_router(Channel<Flit>* ch) { to_router_ = ch; }
@@ -133,7 +132,12 @@ class NetworkInterface {
 
   NodeId node_;
   NocParams params_;
-  std::uint64_t* packet_id_counter_;
+  /// Per-NI packet id sequence. Ids are allocated in the interleaved space
+  /// `1 + node + seq * num_nodes`, so they are unique across the mesh yet
+  /// depend only on this NI's own injection count — never on the global
+  /// order NIs happen to start packets in (which domain-parallel stepping
+  /// must not observe).
+  std::uint64_t next_packet_seq_ = 0;
 
   Channel<Flit>* to_router_ = nullptr;
   Channel<Flit>* from_router_ = nullptr;

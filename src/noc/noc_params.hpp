@@ -45,6 +45,12 @@ struct NocParams {
   /// latency.hist_overflow metric). Raise it for congested / faulty runs
   /// where p99 saturates at the cap.
   Cycle latency_hist_max = 4096;
+  /// Worker threads for intra-run domain-parallel stepping (1 = serial).
+  /// The mesh is split into contiguous row bands stepped under a per-cycle
+  /// barrier; results are bit-identical to step_threads=1 by construction
+  /// (docs/PERFORMANCE.md, "The lookahead invariant"), so this is a purely
+  /// volatile knob — run manifests treat it like `jobs`.
+  int step_threads = 1;
 
   int total_vcs() const { return num_vnets * vcs_per_vnet; }
   int vnet_of_vc(VcId vc) const { return vc / vcs_per_vnet; }
@@ -86,6 +92,8 @@ struct NocParams {
         cfg.get_int("noc.psr_block_timeout", p.psr_block_timeout);
     p.latency_hist_max =
         cfg.get_int("noc.latency_hist_max", p.latency_hist_max);
+    p.step_threads =
+        static_cast<int>(cfg.get_int("noc.step_threads", p.step_threads));
     p.validate();
     return p;
   }
@@ -98,6 +106,7 @@ struct NocParams {
     FLOV_CHECK(buffer_depth >= 1, "buffer depth must be positive");
     FLOV_CHECK(packet_size >= 1, "packet size must be positive");
     FLOV_CHECK(latency_hist_max >= 1, "latency histogram cap must be >= 1");
+    FLOV_CHECK(step_threads >= 1, "step_threads must be >= 1");
   }
 };
 

@@ -57,7 +57,11 @@ void Router::step(Cycle now) {
         FLOV_CHECK(!in_flit_[p]->recv(now).has_value(),
                    "flit arrived at a parked router " + std::to_string(id_));
       }
-      if (credit_in_[p]) credit_in_[p]->clear();  // stale credits are void
+      // Stale credits are void — discard everything that has ARRIVED by
+      // now. (recv_all, not clear(): a boundary credit channel's staged
+      // sends belong to the sending domain's worker during the parallel
+      // phase, and draining only arrivals <= now is schedule-independent.)
+      if (credit_in_[p]) credit_in_[p]->recv_all(now);
     }
     return;
   }
@@ -608,8 +612,9 @@ int Router::recount_resident_flits() const {
   return n;
 }
 
-std::vector<int> Router::input_free_slots(Direction in_port) const {
-  return input_[dir_index(in_port)].free_slots(params_.buffer_depth);
+void Router::input_free_slots(Direction in_port,
+                              std::vector<int>& out) const {
+  input_[dir_index(in_port)].free_slots(params_.buffer_depth, out);
 }
 
 void Router::reload_output_credits(Direction out_port,

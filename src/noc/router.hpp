@@ -127,7 +127,10 @@ class Router {
   Cycle last_local_activity() const { return last_local_activity_; }
 
   // --- credit-handover support (see flov/credit_handover.cpp) ---
-  std::vector<int> input_free_slots(Direction in_port) const;
+  /// Fills `out` with the free buffer slots per VC at `in_port` — the
+  /// caller keeps a reusable scratch vector (per-cycle paths must not
+  /// allocate).
+  void input_free_slots(Direction in_port, std::vector<int>& out) const;
   void reload_output_credits(Direction out_port,
                              const std::vector<int>& free_counts);
   void reset_output_credits_full(Direction out_port);
@@ -195,7 +198,9 @@ class Router {
   bool must_hold_for_wakeup(const InputVc& vc, const Flit& head);
 
   void count(EnergyEvent e, std::uint64_t n = 1) {
-    if (power_) power_->count(e, n);
+    // Per-node counting: domain workers may count concurrently, and the
+    // per-node cells fold back deterministically (PowerTracker).
+    if (power_) power_->count_node(id_, e, n);
   }
 
   NodeId id_;

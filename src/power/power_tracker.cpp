@@ -15,7 +15,8 @@ PowerTracker::PowerTracker(const MeshGeometry& geom,
       modes_(geom.num_nodes(), RouterPowerMode::kOn),
       mode_since_(geom.num_nodes(), 0),
       static_energy_pj_(geom.num_nodes(), 0.0),
-      out_links_(geom.num_nodes(), 0) {
+      out_links_(geom.num_nodes(), 0),
+      node_event_counts_(geom.num_nodes()) {
   for (NodeId r = 0; r < geom.num_nodes(); ++r) {
     for (Direction d : kMeshDirections) {
       if (geom.neighbor(r, d) != kInvalidNode) ++out_links_[r];
@@ -49,6 +50,7 @@ void PowerTracker::begin_window(Cycle now) {
   std::fill(static_energy_pj_.begin(), static_energy_pj_.end(), 0.0);
   for (auto& s : mode_since_) s = std::max(s, now);
   event_counts_.fill(0);
+  for (auto& cell : node_event_counts_) cell.fill(0);
 }
 
 PowerTracker::Report PowerTracker::report(Cycle now) const {
@@ -68,7 +70,7 @@ PowerTracker::Report PowerTracker::report(Cycle now) const {
 
   double dynamic_pj = 0.0;
   for (int e = 0; e < kNumEnergyEvents; ++e) {
-    dynamic_pj += static_cast<double>(event_counts_[e]) *
+    dynamic_pj += static_cast<double>(event_count(static_cast<EnergyEvent>(e))) *
                   params_.event_pj(static_cast<EnergyEvent>(e));
   }
 
@@ -90,7 +92,7 @@ void PowerTracker::publish_metrics(telemetry::MetricsRegistry& reg,
   for (int e = 0; e < kNumEnergyEvents; ++e) {
     const EnergyEvent ev = static_cast<EnergyEvent>(e);
     reg.counter(std::string("power.events.") + to_string(ev)) +=
-        event_counts_[e];
+        event_count(ev);
   }
   const Report rep = report(now);
   reg.gauge("power.static_mw") = rep.static_mw;

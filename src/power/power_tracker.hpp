@@ -32,12 +32,22 @@ class PowerTracker {
   void set_mode(NodeId router, RouterPowerMode mode, Cycle now);
   RouterPowerMode mode(NodeId router) const { return modes_[router]; }
 
-  /// Counts `n` dynamic events of class `e`.
+  /// Counts `n` dynamic events of class `e` (global cell — control-plane
+  /// callers only: signal fabric, HSCs; never from a domain worker).
   void count(EnergyEvent e, std::uint64_t n = 1) {
     event_counts_[static_cast<int>(e)] += n;
   }
+  /// Counts `n` dynamic events attributed to `router`'s tile. Routers use
+  /// this so domain-parallel stepping writes disjoint per-node cells; the
+  /// readers below fold node cells + the global cell in fixed order, so
+  /// totals are exact integers independent of the schedule.
+  void count_node(NodeId router, EnergyEvent e, std::uint64_t n = 1) {
+    node_event_counts_[router][static_cast<int>(e)] += n;
+  }
   std::uint64_t event_count(EnergyEvent e) const {
-    return event_counts_[static_cast<int>(e)];
+    std::uint64_t n = event_counts_[static_cast<int>(e)];
+    for (const auto& cell : node_event_counts_) n += cell[static_cast<int>(e)];
+    return n;
   }
 
   /// Starts a fresh measurement window at `now` (drops all prior counts).
@@ -75,6 +85,8 @@ class PowerTracker {
   std::vector<double> static_energy_pj_; // per-router, flushed-to-date
   std::vector<int> out_links_;           // outgoing mesh links per router
   std::array<std::uint64_t, kNumEnergyEvents> event_counts_{};
+  /// Per-router event cells (see count_node).
+  std::vector<std::array<std::uint64_t, kNumEnergyEvents>> node_event_counts_;
   Cycle window_start_ = 0;
 };
 

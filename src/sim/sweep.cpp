@@ -1,5 +1,6 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -13,6 +14,14 @@ int resolve_jobs(int jobs) {
   if (jobs > 0) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_jobs(int jobs, int threads_per_job) {
+  if (jobs > 0) return jobs;
+  if (threads_per_job < 1) threads_per_job = 1;
+  const int hw = resolve_jobs(0);
+  const int budget = hw / threads_per_job;
+  return budget < 1 ? 1 : budget;
 }
 
 void parallel_run(int n, int jobs, const std::function<void(int)>& fn) {
@@ -62,9 +71,17 @@ std::vector<RunResult> run_sweep(
     const SweepOptions& opts) {
   std::vector<RunResult> results(points.size());
   const int n = static_cast<int>(points.size());
+  // Budget jobs against the intra-run parallelism of the points themselves:
+  // a sweep of points that each step on 4 domain workers should not also
+  // spawn hardware_concurrency sweep workers.
+  int max_step_threads = 1;
+  for (const auto& p : points) {
+    max_step_threads = std::max(max_step_threads, p.noc.step_threads);
+  }
+  const int jobs = resolve_jobs(opts.jobs, max_step_threads);
   std::mutex progress_mu;
   std::atomic<int> done{0};
-  parallel_run(n, opts.jobs, [&](int i) {
+  parallel_run(n, jobs, [&](int i) {
     results[static_cast<std::size_t>(i)] = run_synthetic(points[static_cast<std::size_t>(i)]);
     const int d = done.fetch_add(1, std::memory_order_relaxed) + 1;
     if (opts.progress) {

@@ -30,6 +30,12 @@ struct SweepOptions {
 /// `jobs` resolved against the machine: 0 -> hardware_concurrency (>= 1).
 int resolve_jobs(int jobs);
 
+/// Jobs x threads budgeting: when each sweep point itself steps its mesh on
+/// `threads_per_job` domain workers, auto (jobs=0) resolves to
+/// hardware_concurrency / threads_per_job (>= 1) so the total thread count
+/// stays near the core count. An explicit jobs > 0 is always respected.
+int resolve_jobs(int jobs, int threads_per_job);
+
 /// Runs `fn(i)` for i in [0, n) on `jobs` threads. fn must be safe to call
 /// concurrently for distinct i. If any call throws, the exception from the
 /// LOWEST index is rethrown on the caller after all workers drained (later

@@ -1,5 +1,6 @@
 #include "telemetry/trace.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -109,13 +110,51 @@ Tracer::Tracer(std::uint32_t mask, std::size_t capacity) : mask_(mask) {
   ring_.resize(capacity);
 }
 
-std::vector<TraceEvent> Tracer::events() const {
-  std::vector<TraceEvent> out;
-  out.reserve(size_);
+void Tracer::append_own(std::vector<TraceEvent>& out) const {
   for (std::size_t i = 0; i < size_; ++i) {
     out.push_back(ring_[(head_ + i) % ring_.size()]);
   }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  for (const auto& s : shards_) s->append_own(out);
+  append_own(out);
+  if (!shards_.empty()) {
+    // Shard rings interleave by cycle; a stable sort restores global cycle
+    // order while keeping the deterministic [shard 0 .. shard n-1, parent]
+    // intra-cycle order. Unsharded tracers keep raw record order (tests
+    // record synthetic events with arbitrary cycles).
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.cycle < b.cycle;
+                     });
+  }
   return out;
+}
+
+std::size_t Tracer::size() const {
+  std::size_t n = size_;
+  for (const auto& s : shards_) n += s->size_;
+  return n;
+}
+
+std::uint64_t Tracer::overwritten() const {
+  std::uint64_t n = overwritten_;
+  for (const auto& s : shards_) n += s->overwritten_;
+  return n;
+}
+
+void Tracer::ensure_shards(int n) {
+  if (static_cast<int>(shards_.size()) == n) return;
+  FLOV_CHECK(shards_.empty(), "tracer shard count cannot change mid-run");
+  const std::size_t cap =
+      std::max<std::size_t>(1024, ring_.size() / static_cast<std::size_t>(n));
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Tracer>(mask_, cap));
+  }
 }
 
 std::string Tracer::chrome_trace_json() const {
@@ -168,7 +207,7 @@ std::string Tracer::chrome_trace_json() const {
   w.begin_object();
   w.kv("tool", "flyover");
   w.kv("mask", static_cast<std::uint64_t>(mask_));
-  w.kv("overwritten", overwritten_);
+  w.kv("overwritten", overwritten());
   w.end_object();
   w.kv("displayTimeUnit", "ms");
   w.end_object();

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -120,11 +121,22 @@ class Tracer {
     }
   }
 
-  /// Events in record order (oldest surviving first).
+  /// Events in record order (oldest surviving first). When shards exist
+  /// (domain-parallel stepping), returns the merge of every shard plus
+  /// this ring, stable-sorted by cycle — within a cycle, domain order
+  /// first, control-plane (parent-ring) events last, matching the serial
+  /// intra-cycle order.
   std::vector<TraceEvent> events() const;
-  std::size_t size() const { return size_; }
-  /// Events evicted because the ring wrapped.
-  std::uint64_t overwritten() const { return overwritten_; }
+  std::size_t size() const;
+  /// Events evicted because a ring wrapped (summed over shards).
+  std::uint64_t overwritten() const;
+
+  /// Lazily creates `n` per-domain shard rings (same mask; capacity split
+  /// n ways, >= 1024 each) so each domain worker records into its own ring
+  /// with zero synchronization. Export merges on demand (events()).
+  void ensure_shards(int n);
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Tracer* shard(int i) const { return shards_[static_cast<std::size_t>(i)].get(); }
 
   /// Chrome-trace-event JSON (object form, {"traceEvents": [...]}).
   /// Handshake episodes additionally emit async begin/end pairs so they
@@ -137,11 +149,14 @@ class Tracer {
   static std::vector<TraceEvent> parse_chrome_trace(const std::string& json);
 
  private:
+  void append_own(std::vector<TraceEvent>& out) const;
+
   std::uint32_t mask_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
   std::uint64_t overwritten_ = 0;
+  std::vector<std::unique_ptr<Tracer>> shards_;  ///< per-domain sub-rings
 };
 
 /// Thread-local tracer binding. `mask` is 0 whenever no tracer is

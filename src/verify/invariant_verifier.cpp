@@ -153,7 +153,7 @@ void InvariantVerifier::check_conservation(Cycle now) {
   }
   // Conservation holds on ground truth; now hold the cached aggregates the
   // active-set scheduler runs on to the same standard.
-  const FabricCounters& c = net_.counters();
+  const FabricCounters c = net_.counters();
   if (c.injected_flits != injected || c.ejected_flits != ejected ||
       c.dropped_flits != dropped || c.in_network() != inside) {
     std::ostringstream os;
@@ -205,7 +205,8 @@ void InvariantVerifier::check_credits(Cycle now) {
           if (latched.has_value()) flits_in_flight[latched->vc]++;
         }
       }
-      const std::vector<int> free = net_.router(c).input_free_slots(opposite(d));
+      net_.router(c).input_free_slots(opposite(d), free_slots_scratch_);
+      const std::vector<int>& free = free_slots_scratch_;
       const OutputPort& out = net_.router(u).output_port(d);
       for (int v = 0; v < nvc; ++v) {
         const int occupied = p.buffer_depth - free[v];

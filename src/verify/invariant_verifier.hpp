@@ -112,6 +112,7 @@ class InvariantVerifier {
   VerifierOptions opts_;
 
   std::unordered_map<std::uint64_t, int> eject_counts_;
+  std::vector<int> free_slots_scratch_;  ///< Router::input_free_slots scratch
   std::vector<PowerState> prev_state_;
   std::vector<Cycle> last_fsm_change_;
   /// Consecutive failing samples per (node, dir) pointer check.

@@ -5,6 +5,7 @@
 
 #include "common/config.hpp"
 #include "common/geometry.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -437,6 +438,63 @@ TEST(Config, KeysSortedAndRoundTrip) {
   d.parse_text(c.to_string());
   EXPECT_EQ(d.get_int("zz"), 1);
   EXPECT_EQ(d.get_int("aa"), 2);
+}
+
+TEST(RingBuffer, FifoOrderAcrossGrowth) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  for (int i = 0; i < 100; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 100u);
+  EXPECT_EQ(rb.front(), 0);
+  EXPECT_EQ(rb.back(), 99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapAroundReusesStorage) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 8; ++i) rb.push_back(i);
+  // Steady-state churn: pop one, push one — must wrap, never grow.
+  for (int i = 8; i < 1000; ++i) {
+    EXPECT_EQ(rb.front(), i - 8);
+    rb.pop_front();
+    rb.push_back(i);
+    EXPECT_EQ(rb.size(), 8u);
+  }
+  int expect = 992;
+  for (const int v : rb) EXPECT_EQ(v, expect++);
+}
+
+TEST(RingBuffer, GrowWhileWrappedPreservesOrder) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 8; ++i) rb.push_back(i);
+  for (int i = 0; i < 5; ++i) rb.pop_front();  // head_ now mid-array
+  for (int i = 8; i < 40; ++i) rb.push_back(i);  // forces growth while wrapped
+  ASSERT_EQ(rb.size(), 35u);
+  for (int i = 5; i < 40; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+}
+
+TEST(RingBuffer, IndexEmplaceAndClear) {
+  RingBuffer<std::pair<int, int>> rb;
+  rb.emplace_back(1, 2);
+  rb.emplace_back(3, 4);
+  EXPECT_EQ(rb[0].first, 1);
+  EXPECT_EQ(rb[1].second, 4);
+  auto it = rb.begin();
+  EXPECT_EQ(it->first, 1);
+  ++it;
+  EXPECT_EQ((*it).second, 4);
+  ++it;
+  EXPECT_EQ(it, rb.end());
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.begin(), rb.end());
 }
 
 }  // namespace
