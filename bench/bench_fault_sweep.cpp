@@ -1,18 +1,28 @@
 // Robustness sweep: FLOV schemes under an increasingly lossy control
-// fabric. For each scheme x signal-drop-rate cell the fabric runs gating
-// churn (epoch re-draws) with the recovery knobs enabled and the invariant
-// verifier in counting mode; the table shows what the faults cost
-// (latency, handshake retries) and that correctness held (violations,
-// watchdog escalations).
+// fabric, then under permanent hard faults (PROTOCOL.md §8).
+//
+// Table 1 — transient signal loss: for each scheme x signal-drop-rate cell
+// the fabric runs gating churn (epoch re-draws) with the recovery knobs
+// enabled and the invariant verifier in counting mode; the table shows what
+// the faults cost (latency, handshake retries) and that correctness held
+// (violations, watchdog escalations).
+//
+// Table 2 — hard faults: routers die mid-run (fault.hard_router_pct) with
+// end-to-end reliable delivery on; the table shows the delivered fraction,
+// the retransmit traffic the survival costs, and the packets the fabric had
+// to declare dead because their destination no longer exists.
 //
 //   bench_fault_sweep [measure=30000] [width=8] [seed=3] [csv=out.csv]
+//                     [json=out.json]      flyover-sweep-manifest-v1 rows
 #include "bench_util.hpp"
 
 namespace {
 
 void run_fault_sweep(flov::SyntheticExperimentConfig ex,
                      flov::bench::CsvSink* csv,
-                     const flov::SweepOptions& sweep) {
+                     const flov::SweepOptions& sweep,
+                     std::vector<flov::SyntheticExperimentConfig>* all_points,
+                     std::vector<flov::RunResult>* all_results) {
   using namespace flov;
   using namespace flov::bench;
 
@@ -77,6 +87,88 @@ void run_fault_sweep(flov::SyntheticExperimentConfig ex,
       }
     }
   }
+  all_points->insert(all_points->end(), points.begin(), points.end());
+  all_results->insert(all_results->end(), results.begin(), results.end());
+}
+
+void run_hard_fault_sweep(
+    flov::SyntheticExperimentConfig ex, flov::bench::CsvSink* csv,
+    const flov::SweepOptions& sweep,
+    std::vector<flov::SyntheticExperimentConfig>* all_points,
+    std::vector<flov::RunResult>* all_results) {
+  using namespace flov;
+  using namespace flov::bench;
+
+  // End-to-end reliability carries the traffic across the deaths; the
+  // drain tail lets every flow resolve to acked-or-dead so the delivered
+  // fraction below is exact, not racing the cutoff.
+  ex.noc.reliable = true;
+  ex.noc.retx_timeout = 256;
+  ex.noc.sleep_reannounce_interval = 128;
+  ex.noc.psr_block_timeout = 192;
+  ex.verifier.fatal = false;
+  ex.verifier.settle_window = 512;
+  ex.pattern = "uniform";
+  ex.inj_rate_flits = 0.05;
+  ex.drain_max = 40000;
+  ex.max_cycles_hard = 4 * (ex.warmup + ex.measure) + ex.drain_max;
+
+  const double death_rates[] = {0.0, 0.03, 0.06, 0.12};
+
+  std::vector<SyntheticExperimentConfig> points;
+  for (Scheme s : {Scheme::kRFlov, Scheme::kGFlov}) {
+    for (double pct : death_rates) {
+      ex.scheme = s;
+      // FLOV gating keeps exercising the survival paths while routers die.
+      ex.gated_fraction = 0.3;
+      ex.faults = FaultParams{};
+      if (pct > 0.0) {
+        ex.faults.hard_router_pct = pct;
+        ex.faults.hard_link_pct = pct / 2;
+        ex.faults.hard_at_cycle = ex.warmup + ex.measure / 4;
+        ex.faults.seed = ex.seed;
+      }
+      points.push_back(ex);
+    }
+  }
+  const std::vector<RunResult> results = run_sweep(points, sweep);
+
+  print_header("Hard-fault sweep — routers die mid-run, reliable delivery "
+               "(uniform, 30% gated)");
+  std::printf("%-8s %-9s %5s %5s | %10s %9s %9s %9s %9s %9s\n", "scheme",
+              "router%", "dead", "links", "latency", "acked", "dead_pkt",
+              "retx", "deliv%", "violation");
+  std::size_t idx = 0;
+  for (Scheme s : {Scheme::kRFlov, Scheme::kGFlov}) {
+    (void)s;
+    for (double pct : death_rates) {
+      const RunResult& r = results[idx++];
+      const std::uint64_t settled = r.packets_acked + r.packets_dead;
+      const double delivered =
+          settled ? 100.0 * static_cast<double>(r.packets_acked) /
+                        static_cast<double>(settled)
+                  : 100.0;
+      std::printf(
+          "%-8s %-9.2f %5d %5d | %10.2f %9llu %9llu %9llu %8.2f%% %9llu\n",
+          r.scheme.c_str(), 100 * pct, r.dead_routers, r.dead_links,
+          r.avg_latency, static_cast<unsigned long long>(r.packets_acked),
+          static_cast<unsigned long long>(r.packets_dead),
+          static_cast<unsigned long long>(r.retransmits), delivered,
+          static_cast<unsigned long long>(r.verifier_violations));
+      if (csv) {
+        csv->row("hard_fault,%s,%.4f,%.4f,%llu,%llu,%llu,%llu,%llu",
+                 r.scheme.c_str(), pct, r.avg_latency,
+                 static_cast<unsigned long long>(r.packets_acked),
+                 static_cast<unsigned long long>(r.packets_dead),
+                 static_cast<unsigned long long>(r.retransmits),
+                 static_cast<unsigned long long>(r.verifier_violations),
+                 static_cast<unsigned long long>(
+                     static_cast<std::uint64_t>(r.dead_routers)));
+      }
+    }
+  }
+  all_points->insert(all_points->end(), points.begin(), points.end());
+  all_results->insert(all_results->end(), results.begin(), results.end());
 }
 
 }  // namespace
@@ -93,6 +185,12 @@ int main(int argc, char** argv) {
       argc, argv,
       "figure,scheme,drop_rate,latency,hs_resends,trigger_resends,"
       "recoveries,violations,packets");
-  run_fault_sweep(ex, &csv, flov::bench::sweep_from_args(argc, argv));
+  flov::bench::ManifestSink manifest(argc, argv, "bench_fault_sweep");
+  const flov::SweepOptions sweep = flov::bench::sweep_from_args(argc, argv);
+  std::vector<flov::SyntheticExperimentConfig> all_points;
+  std::vector<flov::RunResult> all_results;
+  run_fault_sweep(ex, &csv, sweep, &all_points, &all_results);
+  run_hard_fault_sweep(ex, &csv, sweep, &all_points, &all_results);
+  manifest.write(all_points, all_results, sweep);
   return 0;
 }

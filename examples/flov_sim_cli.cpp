@@ -2,27 +2,89 @@
 //
 // Runs one fully-configurable synthetic experiment and prints every metric
 // the harness collects; optionally emits the latency-vs-time series.
-//
-//   flov_sim_cli scheme=gflov pattern=tornado inj=0.04 gated=0.6 \
-//                noc.width=16 noc.height=16 warmup=5000 cycles=50000 \
+// Example:
+//   flov_sim_cli scheme=gflov pattern=tornado inj=0.04 gated=0.6
+//                noc.width=16 noc.height=16 warmup=5000 cycles=50000
 //                timeline=1000 seed=3
-//
-// Any NocParams ("noc.*"), EnergyParams ("energy.*"), FaultParams
-// ("fault.*"), VerifierOptions ("verify.*") or telemetry ("telemetry.*")
-// key is accepted. Telemetry outputs:
-//   telemetry.trace=all trace_out=run.trace.json   Perfetto-loadable trace
-//   manifest=run.json                              flyover-run-manifest-v1
-//   incidents_out=run.incidents.json               standalone incident log
+// Run with --help for the full knob list.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "common/config.hpp"
 #include "fault/fault_model.hpp"
 #include "sim/experiment.hpp"
 #include "telemetry/manifest.hpp"
 
+namespace {
+
+void print_usage() {
+  std::printf(
+      "flov_sim_cli key=value ...\n"
+      "\n"
+      "Core:\n"
+      "  scheme=baseline|rp|rflov|gflov   power-gating scheme (gflov)\n"
+      "  pattern=uniform|tornado|...      synthetic traffic pattern\n"
+      "  inj=<flits/node/cycle>           injection rate (0.02)\n"
+      "  gated=<0..1>                     fraction of gateable routers off\n"
+      "  warmup=<cycles> cycles=<cycles>  warm-up / measurement window\n"
+      "  seed=<n>  timeline=<window>  changes=<c1,c2,...>\n"
+      "  threads=<n>                      intra-run domain workers "
+      "(volatile)\n"
+      "\n"
+      "Simulation bounds (PROTOCOL.md \xc2\xa7" "8):\n"
+      "  drain=<cycles>             post-run drain budget: keep stepping\n"
+      "                             until every reliable flow is acked or\n"
+      "                             declared dead (0 = off)\n"
+      "  sim.max_cycles_hard=<n>    hard cycle cap; exceeding it aborts\n"
+      "                             with a structured incident + partial\n"
+      "                             stats instead of a process abort\n"
+      "\n"
+      "Reliable delivery (noc.reliable=1, PROTOCOL.md \xc2\xa7" "8):\n"
+      "  noc.reliable=0|1           per-flow seq numbers, retransmit\n"
+      "                             buffer, ack piggyback + 1-flit acks\n"
+      "  noc.retx_timeout=<cycles>  base retransmit timeout (512)\n"
+      "  noc.retx_backoff_cap=<n>   retry n waits timeout<<min(n,cap) (3)\n"
+      "  noc.retx_limit=<n>         retries before declared dead (4)\n"
+      "  noc.ack_delay=<cycles>     piggyback grace before a 1-flit ack "
+      "(8)\n"
+      "\n"
+      "Fault injection (fault.*; all default 0 = fault-free):\n"
+      "  fault.signal_drop_rate=<p>     drop a handshake signal per hop\n"
+      "  fault.signal_delay_rate=<p>    delay a handshake signal per hop\n"
+      "  fault.signal_delay_max=<c>     max extra signal delay (4)\n"
+      "  fault.signal_dup_rate=<p>      duplicate a handshake signal\n"
+      "  fault.flit_drop_rate=<p>       drop a flit per link traversal\n"
+      "  fault.flit_delay_rate=<p>      delay a flit per link traversal\n"
+      "  fault.flit_delay_max=<c>       max extra flit delay (4)\n"
+      "  fault.spurious_wakeup_rate=<p> spurious WakeupTrigger per cycle\n"
+      "  fault.hard_router_pct=<p>      routers that die at hard_at_cycle\n"
+      "  fault.hard_link_pct=<p>        directed links that die there\n"
+      "  fault.hard_at_cycle=<c>        death cycle (0 disarms hard "
+      "faults)\n"
+      "  fault.seed=<n>                 fate-hash seed (1)\n"
+      "\n"
+      "Also accepted: any NocParams (noc.*), EnergyParams (energy.*),\n"
+      "VerifierOptions (verify.*) or telemetry (telemetry.*) key.\n"
+      "\n"
+      "Outputs:\n"
+      "  telemetry.trace=all trace_out=run.trace.json  Perfetto trace\n"
+      "  manifest=run.json             flyover-run-manifest-v1 (resolved\n"
+      "                                fault.* knobs echoed into config)\n"
+      "  incidents_out=run.incidents.json              incident log\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace flov;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "help") == 0) {
+      print_usage();
+      return 0;
+    }
+  }
   Config cfg;
   cfg.parse_args(argc, argv);
 
@@ -41,6 +103,8 @@ int main(int argc, char** argv) {
   ex.measure = cfg.get_int("cycles", 90000);
   ex.seed = cfg.get_int("seed", 1);
   ex.timeline_window = cfg.get_int("timeline", 0);
+  ex.drain_max = cfg.get_int("drain", 0);
+  ex.max_cycles_hard = cfg.get_int("sim.max_cycles_hard", 0);
   ex.faults = FaultParams::from_config(cfg);
   ex.verifier = VerifierOptions::from_config(cfg);
   ex.verify = cfg.get_bool("verify", ex.verify);
@@ -116,6 +180,28 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.self_captures),
                 static_cast<unsigned long long>(r.flits_dropped_by_faults));
   }
+  if (ex.noc.reliable) {
+    std::printf("reliable delivery     : %llu acked, %llu dead, %llu "
+                "retransmits, %llu dup-suppressed, %llu purged, %llu "
+                "killed-at-source\n",
+                static_cast<unsigned long long>(r.packets_acked),
+                static_cast<unsigned long long>(r.packets_dead),
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.dup_packets),
+                static_cast<unsigned long long>(r.packets_purged),
+                static_cast<unsigned long long>(r.killed_at_source));
+  }
+  if (r.dead_routers || r.dead_links) {
+    std::printf("hard faults           : %d dead routers, %d dead links, "
+                "%llu wake requests dropped\n",
+                r.dead_routers, r.dead_links,
+                static_cast<unsigned long long>(r.wake_requests_dropped));
+  }
+  if (r.aborted) {
+    std::printf("ABORTED at cycle %llu (sim.max_cycles_hard); stats are "
+                "partial\n",
+                static_cast<unsigned long long>(r.cycles_run));
+  }
   if (ex.verify) {
     std::printf("invariant verifier    : %llu checks, %llu violations\n",
                 static_cast<unsigned long long>(r.verifier_checks),
@@ -153,6 +239,9 @@ int main(int argc, char** argv) {
     telemetry::RunManifest m;
     m.name = "flov_sim_cli";
     m.scheme = r.scheme;
+    // Echo every resolved fault.* knob (including defaulted ones) into the
+    // manifest's config so two runs can never silently differ on one.
+    ex.faults.echo_to_config(cfg);
     m.config = cfg;
     m.seed = ex.seed;
     m.wall_seconds = wall_seconds;

@@ -11,7 +11,8 @@ FaultInjector::FaultInjector(const FaultParams& params, int num_nodes)
       signal_rng_(params.seed * 0x9E3779B97F4A7C15ull + 1),
       spurious_rng_(params.seed * 0x94D049BB133111EBull + 3),
       flit_drop_seed_(mix_u64(params.seed * 0xBF58476D1CE4E5B9ull + 2)),
-      flit_delay_seed_(mix_u64(params.seed * 0xBF58476D1CE4E5B9ull + 4)) {
+      flit_delay_seed_(mix_u64(params.seed * 0xBF58476D1CE4E5B9ull + 4)),
+      hard_seed_(mix_u64(params.seed * 0x2545F4914F6CDD1Dull + 5)) {
   FLOV_CHECK(num_nodes_ > 0, "fault injector needs a non-empty mesh");
   FLOV_CHECK(params_.signal_delay_max >= 1 && params_.flit_delay_max >= 1,
              "fault delay maxima must be >= 1 cycle");
@@ -40,9 +41,64 @@ bool FaultInjector::duplicate_signal(const HsMessage& msg) {
   return true;
 }
 
+bool FaultInjector::router_dies(NodeId id) const {
+  if (!params_.hard_faults_armed() || params_.hard_router_pct <= 0.0) {
+    return false;
+  }
+  return hash_bool(hash_mix(hard_seed_, 0x52000000ull +
+                                            static_cast<std::uint64_t>(id)),
+                   params_.hard_router_pct);
+}
+
+bool FaultInjector::link_dies(std::uint32_t link_key) const {
+  if (!params_.hard_faults_armed() || params_.hard_link_pct <= 0.0) {
+    return false;
+  }
+  return hash_bool(hash_mix(hard_seed_, 0x4C000000ull + link_key),
+                   params_.hard_link_pct);
+}
+
+void FaultInjector::note_hard_killed(const Flit& f) {
+  counters_.flits_dropped.fetch_add(1, std::memory_order_relaxed);
+  counters_.hard_killed.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(dropped_packets_mu_);
+  dropped_packets_.insert(f.packet_id);
+}
+
 std::optional<Cycle> FaultInjector::flit_fate(const Flit& f,
                                               std::uint32_t link_key,
                                               Cycle now) {
+  // A dead link eats everything sent after the death cycle — except the
+  // remainder of a worm whose head already crossed before the link died.
+  // Link death must be worm-coherent: eating only the rest of an in-flight
+  // worm would strand a tail-less fragment downstream whose VC allocations
+  // (and the destination's reassembly slot) never release. The grace set
+  // records (packet, link) pairs earned by a pre-death head crossing and
+  // is retired by the tail. Checked before the transient rolls so
+  // transient streams stay aligned with a hard-fault-free run up to
+  // hard_at_cycle (stateless hashes: consulting order never matters).
+  if (params_.hard_faults_armed() && link_dies(link_key)) {
+    const std::uint64_t gkey = f.packet_id * 0x10000ull + link_key;
+    bool killed_here = false;
+    {
+      std::lock_guard<std::mutex> lock(link_grace_mu_);
+      if (now >= params_.hard_at_cycle) {
+        // No pre-death head crossing on record: the whole worm dies here
+        // (its head either dies now or already died on this link). A
+        // graced flit instead falls through to the transient rolls below,
+        // which by packet-coherence repeat the verdict its head survived.
+        killed_here = link_grace_.count(gkey) == 0;
+        if (f.tail) link_grace_.erase(gkey);
+      } else {
+        if (f.head && !f.tail) link_grace_.insert(gkey);
+        if (f.tail) link_grace_.erase(gkey);
+      }
+    }
+    if (killed_here) {
+      note_hard_killed(f);
+      return std::nullopt;
+    }
+  }
   // Drops are packet-coherent per link: the fate is a pure hash of
   // (seed, packet, link), so EVERY flit of a worm rolls the same fate at a
   // given link — the head dies on the wire and the body flits that follow

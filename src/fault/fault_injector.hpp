@@ -34,6 +34,9 @@ class FaultInjector {
     std::atomic<std::uint64_t> flits_dropped{0};
     std::atomic<std::uint64_t> flits_delayed{0};
     std::uint64_t spurious_wakeups = 0;
+    /// Subset of flits_dropped destroyed by hard faults (dead links on the
+    /// wire + flits consumed by dead routers / dead NI queues).
+    std::atomic<std::uint64_t> hard_killed{0};
   };
 
   FaultInjector(const FaultParams& params, int num_nodes);
@@ -60,6 +63,22 @@ class FaultInjector {
   /// Spurious wakeup roll for this cycle; kInvalidNode when none fires.
   NodeId spurious_wakeup_target(Cycle now);
 
+  // --- hard-fault fates (pure hashes: thread-schedule-independent) ---
+  /// True when hard faults are armed and router `id` is fated to die at
+  /// params().hard_at_cycle. Scheme layers apply their own exemptions on
+  /// top (FLOV never kills the always-on column; see flov_network.cpp).
+  bool router_dies(NodeId id) const;
+  /// Directed-link death fate, keyed like flit_fate (sender*4 + dir). A
+  /// dead link silently eats every flit sent after hard_at_cycle.
+  bool link_dies(std::uint32_t link_key) const;
+  Cycle hard_at() const { return params_.hard_at_cycle; }
+
+  /// Accounts one flit destroyed by a hard fault (dead router sinking an
+  /// arriving flit, or a dead NI purging its queue). Packet-coherent
+  /// bookkeeping: the whole packet is marked faulted so the verifier
+  /// exempts it. Safe from domain workers.
+  void note_hard_killed(const Flit& f);
+
   /// Packets that lost at least one flit to a drop fault (the verifier
   /// exempts them from exact conservation). Serial control-plane callers
   /// only — runs between step barriers, which publish the workers' inserts.
@@ -67,6 +86,7 @@ class FaultInjector {
     return dropped_packets_.count(packet_id) != 0;
   }
   std::uint64_t dropped_flits() const { return counters_.flits_dropped; }
+  std::uint64_t hard_killed_flits() const { return counters_.hard_killed; }
 
  private:
   FaultParams params_;
@@ -75,11 +95,20 @@ class FaultInjector {
   Rng spurious_rng_;
   std::uint64_t flit_drop_seed_;
   std::uint64_t flit_delay_seed_;
+  std::uint64_t hard_seed_;
   Counters counters_;
   /// Guards dropped_packets_ against concurrent inserts from domain
   /// workers (head-drop bookkeeping only — never on the fault-free path).
   std::mutex dropped_packets_mu_;
   std::unordered_set<std::uint64_t> dropped_packets_;
+  /// Worm-coherence grace for dying links: (packet, link) pairs whose HEAD
+  /// crossed the link before hard_at_cycle. Their body/tail flits pass even
+  /// after the death cycle — eating them mid-worm would leave a tail-less
+  /// fragment downstream that wedges every VC it holds forever. Entries are
+  /// erased when the tail crosses; mutations for a given link all come from
+  /// the sending router's own step, so the set is schedule-independent.
+  std::mutex link_grace_mu_;
+  std::unordered_set<std::uint64_t> link_grace_;
 };
 
 }  // namespace flov

@@ -34,12 +34,28 @@ struct FaultParams {
   /// Per-cycle probability of a spurious WakeupTrigger at a random router.
   double spurious_wakeup_rate = 0.0;
 
+  // --- permanent (hard) faults ---
+  /// At cycle `hard_at_cycle` a seeded subset of routers/links dies and
+  /// stays dead for the rest of the run. Fates are pure hashes of
+  /// (seed, router id) / (seed, link key), so they are identical across
+  /// thread counts and across schemes sharing a seed. Rates are the
+  /// per-router / per-directed-link death probabilities. hard_at_cycle == 0
+  /// disarms hard faults entirely (cycle 0 never steps a death).
+  double hard_router_pct = 0.0;
+  double hard_link_pct = 0.0;
+  Cycle hard_at_cycle = 0;
+
   std::uint64_t seed = 1;
+
+  bool hard_faults_armed() const {
+    return hard_at_cycle > 0 && (hard_router_pct > 0.0 || hard_link_pct > 0.0);
+  }
 
   bool any() const {
     return signal_drop_rate > 0.0 || signal_delay_rate > 0.0 ||
            signal_dup_rate > 0.0 || flit_drop_rate > 0.0 ||
-           flit_delay_rate > 0.0 || spurious_wakeup_rate > 0.0;
+           flit_delay_rate > 0.0 || spurious_wakeup_rate > 0.0 ||
+           hard_faults_armed();
   }
 
   static FaultParams from_config(const Config& cfg) {
@@ -59,8 +75,31 @@ struct FaultParams {
     p.flit_delay_max = cfg.get_int("fault.flit_delay_max", p.flit_delay_max);
     p.spurious_wakeup_rate =
         cfg.get_double("fault.spurious_wakeup_rate", p.spurious_wakeup_rate);
+    p.hard_router_pct =
+        cfg.get_double("fault.hard_router_pct", p.hard_router_pct);
+    p.hard_link_pct = cfg.get_double("fault.hard_link_pct", p.hard_link_pct);
+    p.hard_at_cycle = cfg.get_int("fault.hard_at_cycle", p.hard_at_cycle);
     p.seed = static_cast<std::uint64_t>(cfg.get_int("fault.seed", 1));
     return p;
+  }
+
+  /// Writes every fault.* knob back into `cfg` with its resolved value, so
+  /// run manifests carry the full fault configuration even for defaulted
+  /// knobs (validate_telemetry.py --diff-manifests then catches a silently
+  /// defaulted fault setting differing between two runs).
+  void echo_to_config(Config& cfg) const {
+    cfg.set("fault.signal_drop_rate", signal_drop_rate);
+    cfg.set("fault.signal_delay_rate", signal_delay_rate);
+    cfg.set("fault.signal_delay_max", static_cast<long long>(signal_delay_max));
+    cfg.set("fault.signal_dup_rate", signal_dup_rate);
+    cfg.set("fault.flit_drop_rate", flit_drop_rate);
+    cfg.set("fault.flit_delay_rate", flit_delay_rate);
+    cfg.set("fault.flit_delay_max", static_cast<long long>(flit_delay_max));
+    cfg.set("fault.spurious_wakeup_rate", spurious_wakeup_rate);
+    cfg.set("fault.hard_router_pct", hard_router_pct);
+    cfg.set("fault.hard_link_pct", hard_link_pct);
+    cfg.set("fault.hard_at_cycle", static_cast<long long>(hard_at_cycle));
+    cfg.set("fault.seed", static_cast<long long>(seed));
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "fault/fault_wiring.hpp"
 #include "noc/router.hpp"
 #include "routing/partition.hpp"
 #include "telemetry/metrics.hpp"
@@ -25,12 +26,14 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
   });
   trigger_sent_.assign(net_->num_nodes(), false);
   trigger_sent_at_.assign(net_->num_nodes(), 0);
+  dead_mask_.assign(net_->num_nodes(), 0);
   hscs_.reserve(net_->num_nodes());
   const bool parallel = net_->num_domains() > 1;
   if (parallel) staged_wakeups_.resize(net_->num_domains());
   for (NodeId id = 0; id < net_->num_nodes(); ++id) {
     hscs_.push_back(std::make_unique<HandshakeController>(
         id, mode_, params_, &net_->router(id), &fabric_, this));
+    net_->router(id).set_dead_mask(&dead_mask_);
     if (parallel) {
       // Workers may not touch HSC/fabric state: stage the request and let
       // step() replay it between barriers (same order as serial, see
@@ -48,42 +51,17 @@ FlovNetwork::FlovNetwork(const NocParams& params, FlovMode mode,
   if (faults.any()) {
     fault_ = std::make_unique<FaultInjector>(faults, net_->num_nodes());
     fabric_.set_fault_injector(fault_.get());
-    // Arm only the inter-router flit links: local NI channels and credit
-    // wires stay reliable (credit loss without a credit-recovery protocol
-    // would just be an unrecoverable leak, not an interesting fault).
-    for (NodeId id = 0; id < net_->num_nodes(); ++id) {
-      for (Direction d : kMeshDirections) {
-        if (auto* ch = net_->flit_channel(id, d)) {
-          // On a drop, tell the network: the flit was counted as injected
-          // but will never eject, and the cached in-network count must not
-          // keep carrying it.
-          const std::uint32_t link_key =
-              static_cast<std::uint32_t>(id) * 4u +
-              static_cast<std::uint32_t>(dir_index(d));
-          ch->set_fault_hook([f = fault_.get(), net = net_.get(), id,
-                              link_key](Cycle now, const Flit& flit)
-                                 -> std::optional<Cycle> {
-            const std::optional<Cycle> fate = f->flit_fate(flit, link_key, now);
-            if (!fate.has_value()) {
-              net->note_flit_dropped(id);
-              FLOV_TRACE(telemetry::kTraceFault,
-                         telemetry::TraceEventType::kFaultFlitDrop, now, id,
-                         flit.packet_id, flit.flit_index);
-            } else if (*fate > 0) {
-              FLOV_TRACE(telemetry::kTraceFault,
-                         telemetry::TraceEventType::kFaultFlitDelay, now, id,
-                         flit.packet_id, *fate);
-            }
-            return fate;
-          });
-        }
-      }
-    }
+    arm_link_faults(*net_, *fault_);
   }
 }
 
 void FlovNetwork::step(Cycle now) {
   current_cycle_ = now;
+  if (fault_ && !hard_applied_ && fault_->hard_at() > 0 &&
+      now >= fault_->hard_at()) {
+    hard_applied_ = true;
+    apply_hard_faults(now);
+  }
   net_->step(now);
   // Replay wakeup requests the domain workers staged during net_->step in
   // domain order = router-id order = the exact order the serial schedule
@@ -102,6 +80,31 @@ void FlovNetwork::step(Cycle now) {
       FLOV_TRACE(telemetry::kTraceFault,
                  telemetry::TraceEventType::kFaultSpuriousWake, now, t, t, 0);
       hscs_[t]->trigger_wakeup(now);
+    }
+  }
+}
+
+void FlovNetwork::apply_hard_faults(Cycle now) {
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+    // The AON column shares the gating exemption: its routers (and their
+    // NIs) are the survivability anchor every escape route relies on.
+    if (fault_->router_dies(id) && !gating_forbidden(id)) {
+      dead_mask_[id] = 1;
+      hscs_[id]->kill(now);
+      net_->ni(id).kill(now);
+      net_->wake_router(id);
+    }
+    for (Direction d : kMeshDirections) {
+      if (net_->geom().neighbor(id, d) == kInvalidNode) continue;
+      const std::uint32_t link_key = static_cast<std::uint32_t>(id) * 4u +
+                                     static_cast<std::uint32_t>(dir_index(d));
+      if (fault_->link_dies(link_key)) {
+        // Poisoned-edge mark: routing demotes this turn (flov_routing);
+        // the channel's fault hook does the actual killing.
+        net_->router(id).view().link_dead[dir_index(d)] = true;
+        net_->wake_router(id);
+        dead_links_++;
+      }
     }
   }
 }
@@ -275,6 +278,13 @@ void FlovNetwork::refresh_view(NodeId w) {
 }
 
 void FlovNetwork::request_wakeup(NodeId requester, NodeId target, Cycle now) {
+  if (dead_mask_[target]) {
+    // Wake requests to the dead are swallowed (counted, not forwarded):
+    // the packet's own fly-over + NI-sink path consumes it, and the
+    // sender's reliable-delivery timeout is what ultimately resolves it.
+    wake_requests_dropped_++;
+    return;
+  }
   if (requester == target) {
     // Self-capture: the gated router itself found a flit addressed to it on
     // its bypass datapath; no trigger needs to travel anywhere.
@@ -334,6 +344,12 @@ FlovNetwork::ProtocolStats FlovNetwork::protocol_stats(Cycle now) const {
   return s;
 }
 
+int FlovNetwork::dead_router_count() const {
+  int n = 0;
+  for (char c : dead_mask_) n += c != 0;
+  return n;
+}
+
 int FlovNetwork::gated_router_count() const {
   int n = 0;
   for (const auto& h : hscs_) {
@@ -367,6 +383,14 @@ void FlovNetwork::publish_metrics(telemetry::MetricsRegistry& reg,
     reg.counter("fault.flits_dropped") += f.flits_dropped;
     reg.counter("fault.flits_delayed") += f.flits_delayed;
     reg.counter("fault.spurious_wakeups") += f.spurious_wakeups;
+    if (fault_->hard_at() > 0) {
+      // Hard-fault keys only exist when the hard knobs are armed, so
+      // transient-only manifests stay byte-stable across this change.
+      reg.counter("fault.hard_killed_flits") += f.hard_killed;
+      reg.gauge("fault.dead_routers") = static_cast<double>(dead_router_count());
+      reg.gauge("fault.dead_links") = static_cast<double>(dead_links_);
+      reg.counter("flov.wake_requests_dropped") += wake_requests_dropped_;
+    }
   }
 }
 

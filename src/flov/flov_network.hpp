@@ -87,6 +87,18 @@ class FlovNetwork final : public NocSystem {
   FaultInjector* fault_injector() { return fault_.get(); }
   const FaultInjector* fault_injector() const { return fault_.get(); }
 
+  // --- hard-fault introspection (PROTOCOL.md §8) ---
+  /// Per-node hard-fault flags (flipped once at fault.hard_at_cycle; shared
+  /// with every router's hold-for-wakeup test via Router::set_dead_mask).
+  const std::vector<char>& dead_mask() const { return dead_mask_; }
+  bool router_dead(NodeId id) const { return dead_mask_[id] != 0; }
+  int dead_router_count() const;
+  int dead_link_count() const { return dead_links_; }
+  /// WakeupTriggers swallowed because the target is dead (each is a packet
+  /// waiting on a corpse; the sender's retransmit/dead-declaration path is
+  /// what eventually resolves it).
+  std::uint64_t wake_requests_dropped() const { return wake_requests_dropped_; }
+
   /// Stall diagnostics: HSC + occupancy dump of every non-quiescent router.
   void dump_state(Cycle now) const;
 
@@ -126,6 +138,11 @@ class FlovNetwork final : public NocSystem {
   /// the state refresh a router receives upon wakeup).
   void refresh_view(NodeId w);
   void handover_flow(NodeId b, Direction flow, bool waking, Cycle now);
+  /// Applies the armed hard faults once, at fault.hard_at_cycle: fate-hashed
+  /// routers (AON column exempt) are killed (HSC forced-drain + NI sink),
+  /// fate-hashed links get their poisoned-edge marks (the channel fault
+  /// hooks do the actual flit killing). Serial — called before net_->step.
+  void apply_hard_faults(Cycle now);
 
   NocParams params_;
   FlovMode mode_;
@@ -155,6 +172,11 @@ class FlovNetwork final : public NocSystem {
   std::uint64_t trigger_resends_ = 0;
   std::uint64_t recoveries_ = 0;
   Cycle current_cycle_ = 0;
+  /// Hard-fault state (all zero unless faults.hard_faults_armed()).
+  std::vector<char> dead_mask_;
+  int dead_links_ = 0;
+  bool hard_applied_ = false;
+  std::uint64_t wake_requests_dropped_ = 0;
 };
 
 }  // namespace flov

@@ -21,11 +21,21 @@ HandshakeController::HandshakeController(NodeId id, FlovMode mode,
 }
 
 void HandshakeController::set_core_gated(bool gated, Cycle now) {
+  if (dead_) return;  // a corpse's core never comes back
   core_gated_ = gated;
   if (!gated && state_ == PowerState::kSleep) {
     // The FSM wakes on its next step; nothing else to do here.
     (void)now;
   }
+}
+
+void HandshakeController::kill(Cycle now) {
+  if (dead_) return;
+  dead_ = true;
+  core_gated_ = true;  // directly: set_core_gated now refuses changes
+  // A drain already in progress must run to completion, never abort.
+  if (state_ == PowerState::kDraining) drain_deadline_ = kNeverCycle;
+  (void)now;
 }
 
 NodeId HandshakeController::partner(Direction d) const {
@@ -260,6 +270,13 @@ void HandshakeController::step(Cycle now) {
   expire_stale_blocks(now);
   switch (state_) {
     case PowerState::kActive:
+      if (dead_) {
+        // Hard fault: drain unconditionally (the NI is already a sink, and
+        // waiting for idleness thresholds would only delay the inevitable).
+        enter_draining(now);
+        drain_deadline_ = kNeverCycle;  // a corpse never aborts
+        break;
+      }
       if (core_gated_ && can_start_drain(now)) enter_draining(now);
       break;
     case PowerState::kDraining: {
@@ -268,10 +285,25 @@ void HandshakeController::step(Cycle now) {
         break;
       }
       if (now >= drain_deadline_) {
-        abort_drain(now);
+        abort_drain(now);  // unreachable when dead_ (deadline = kNeverCycle)
         break;
       }
       retry_expected(now, HsType::kDrainReq);
+      if (dead_) {
+        // A corpse cannot abort back to Active, so an unanswerable leg must
+        // not wedge the drain forever. When a leg's retries are exhausted
+        // (or disabled) and its reply stays overdue past the abort horizon,
+        // the partner is unreachable — possibly dead itself — and the leg
+        // is forcibly marked done (PROTOCOL.md §8).
+        for (Expected& e : expected_) {
+          if (e.done) continue;
+          const bool exhausted = params_.hs_retry_timeout == 0 ||
+                                 e.resends >= params_.hs_retry_limit;
+          if (exhausted && now - e.last_sent >= params_.drain_abort_timeout) {
+            e.done = true;
+          }
+        }
+      }
       bool all_done = true;
       for (const Expected& e : expected_) all_done &= e.done;
       // all_outputs_idle: a local backstop behind the epoch check — an
@@ -286,7 +318,13 @@ void HandshakeController::step(Cycle now) {
     }
     case PowerState::kSleep:
       heartbeat_sleep_announce(now);
-      if ((!core_gated_ || wakeup_pending_) && can_start_wakeup()) {
+      if (dead_) break;  // permanent: nothing wakes a corpse
+      // Third wake reason (reliable delivery only): a retransmit timer can
+      // repopulate a gated NI's queue while the core itself stays gated;
+      // the router must power on to flush it or the flow wedges forever.
+      if ((!core_gated_ || wakeup_pending_ ||
+           (params_.reliable && !owner_->ni_idle(id_))) &&
+          can_start_wakeup()) {
         enter_wakeup(now);
       }
       break;
@@ -315,6 +353,7 @@ void HandshakeController::step(Cycle now) {
 
 void HandshakeController::trigger_wakeup(Cycle now) {
   (void)now;
+  if (dead_) return;  // the dead do not answer
   if (state_ == PowerState::kSleep) wakeup_pending_ = true;
 }
 
@@ -504,7 +543,8 @@ bool HandshakeController::on_signal(const HsMessage& msg, Cycle now) {
     case HsType::kDrainReq:
       if (state_ == PowerState::kDraining) {
         // Simultaneous drains: the smaller id proceeds (Section IV-A).
-        if (msg.from < id_) abort_drain(now);
+        // A dead router never yields — its drain is mandatory.
+        if (msg.from < id_ && !dead_) abort_drain(now);
         add_obligation(from_dir, msg.from, msg.epoch);
       } else if (state_ == PowerState::kWakeup) {
         // Draining–Wakeup conflict: Wakeup has priority; make the drain
@@ -517,7 +557,7 @@ bool HandshakeController::on_signal(const HsMessage& msg, Cycle now) {
              router_->view().logical[dir_index(opposite(from_dir))]);
       } else {
         add_obligation(from_dir, msg.from, msg.epoch);
-        if (!is_target) {
+        if (!is_target && !dead_) {
           // We absorbed a request aimed beyond us: the sender's leg still
           // names the old partner, so our DrainDone would never match it.
           // Announce ourselves so the sender adopts us as the new partner.
@@ -545,13 +585,15 @@ bool HandshakeController::on_signal(const HsMessage& msg, Cycle now) {
       }
       break;
     case HsType::kWakeupNotify:
-      if (state_ == PowerState::kDraining) abort_drain(now);
+      // Wakeup priority — except over a dead router's mandatory drain (the
+      // waker still gets its DrainDone through the obligation below).
+      if (state_ == PowerState::kDraining && !dead_) abort_drain(now);
       // We are (one of) the waking router's logical partners: we owe it a
       // drain_done once our in-flight deliveries toward it finish. Two
       // concurrently waking routers owe each other the same.
       if (state_ != PowerState::kSleep) {
         add_obligation(from_dir, msg.from, msg.epoch);
-        if (!is_target && state_ == PowerState::kActive) {
+        if (!is_target && state_ == PowerState::kActive && !dead_) {
           // Same stale-leg heal as for DrainReq: tell the waker its true
           // nearest powered partner is us, not whoever it addressed. [impl]
           send(now, HsType::kActiveNotify, from_dir, msg.from);
@@ -571,7 +613,7 @@ bool HandshakeController::on_signal(const HsMessage& msg, Cycle now) {
     case HsType::kWakeupTrigger:
       if (is_target) {
         trigger_wakeup(now);
-        if (state_ == PowerState::kActive) {
+        if (state_ == PowerState::kActive && !dead_) {
           // Already awake (e.g. our earlier ActiveNotify was lost): answer
           // so the requester's stale PSRs re-point here and the held packet
           // releases. [impl]
@@ -582,7 +624,7 @@ bool HandshakeController::on_signal(const HsMessage& msg, Cycle now) {
       // A powered router between requester and target absorbs the trigger:
       // the requester's view was stale. Announce our own liveness toward it
       // so the view heals rather than waiting for self-correction. [impl]
-      if (state_ == PowerState::kActive) {
+      if (state_ == PowerState::kActive && !dead_) {
         send(now, HsType::kActiveNotify, from_dir, msg.from);
       }
       break;

@@ -63,6 +63,14 @@ class HandshakeController {
 
   void set_core_gated(bool gated, Cycle now);
 
+  /// Hard fault (PROTOCOL.md §8): this router is permanently dead. Forces a
+  /// drain to Sleep that can never abort, time out, or wake again; the
+  /// FLOV bypass latches are assumed to survive (they are always-on
+  /// circuitry separate from the gated pipeline), so traffic flies over the
+  /// corpse and self-destined flits sink into the killed NI. Idempotent.
+  void kill(Cycle now);
+  bool dead() const { return dead_; }
+
   /// Per-cycle FSM evaluation (after routers and signal deliveries).
   void step(Cycle now);
 
@@ -153,6 +161,7 @@ class HandshakeController {
 
   PowerState state_ = PowerState::kActive;
   bool core_gated_ = false;
+  bool dead_ = false;  ///< hard-faulted; terminal (see kill())
   Cycle state_since_ = 0;
   Cycle drain_deadline_ = kNeverCycle;
   /// Bumped on every Draining/Wakeup entry; stamped into requests so stale

@@ -41,6 +41,19 @@ struct Flit {
   /// its first "down" link).
   bool updown_went_down = false;
 
+  // --- end-to-end reliable delivery (noc.reliable; PROTOCOL.md §8) ---
+  /// Per-(src,dest) flow sequence number; 0 = unsequenced (reliable layer
+  /// off, or a control packet). Retransmitted copies keep their seq but get
+  /// a fresh packet_id.
+  std::uint32_t seq = 0;
+  /// True for the 1-flit ack control packet class: never reported to the
+  /// ejection callback, exists only to carry the ack fields below.
+  bool ctrl = false;
+  /// Piggybacked cumulative-free ack: "src acks your seq `ack_seq`" — valid
+  /// on head flits when ack_valid is set (data head or ctrl flit).
+  std::uint32_t ack_seq = 0;
+  bool ack_valid = false;
+
   // --- latency-breakdown counters, accumulated on the head flit ---
   std::uint16_t router_hops = 0;  ///< powered-router pipeline traversals
   std::uint16_t link_hops = 0;    ///< inter-router link traversals
@@ -64,6 +77,14 @@ struct PacketDescriptor {
   std::int32_t size_flits = 1;
   Cycle gen_cycle = 0;
   std::uint64_t payload = 0;
+
+  /// Reliable-delivery metadata (see Flit): seq != 0 marks a descriptor
+  /// already owned by the retransmit buffer; ctrl marks the ack packet
+  /// class generated inside the NI.
+  std::uint32_t seq = 0;
+  bool ctrl = false;
+  std::uint32_t ack_seq = 0;
+  bool ack_valid = false;
 };
 
 }  // namespace flov

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -40,6 +41,16 @@ struct PacketRecord {
   std::uint64_t payload = 0;
 
   Cycle total_latency() const { return eject_cycle - gen_cycle; }
+};
+
+/// A reliable-delivery flow that exhausted its retries (or lost its source
+/// node) and was declared dead: surfaced by the experiment harness as a
+/// structured incident instead of hanging the drain loop.
+struct DeadPacket {
+  PacketDescriptor pkt;
+  std::uint32_t seq = 0;
+  int retries = 0;
+  Cycle declared_at = 0;
 };
 
 class NetworkInterface {
@@ -71,8 +82,13 @@ class NetworkInterface {
     wake_index_ = index;
   }
 
-  /// Queues a packet for injection.
+  /// Queues a packet for injection. A dead (hard-faulted) NI silently
+  /// destroys the request and accounts it in killed_at_source().
   void enqueue(const PacketDescriptor& pkt) {
+    if (dead_) {
+      killed_at_source_++;
+      return;
+    }
     queue_.push_back(pkt);
     if (counters_) counters_->queued_packets++;
     if (wake_) wake_->mark(wake_index_);
@@ -95,29 +111,51 @@ class NetworkInterface {
   /// True when stepping this NI would be a no-op: nothing queued, nothing
   /// mid-injection, and nothing (present or future) on the incoming wires.
   /// Network::step may park a quiescent NI until something re-arms it.
+  /// A reliable NI additionally stays live while its retransmit buffer or
+  /// pending-ack list is non-empty (both are timer-driven).
   bool quiescent() const {
     return queue_.empty() && streams_.empty() &&
            (!from_router_ || from_router_->empty()) &&
-           (!credit_from_ || credit_from_->empty());
+           (!credit_from_ || credit_from_->empty()) &&
+           (!params_.reliable || (tx_.empty() && acks_.empty()));
   }
   /// True while a packet is mid-injection (some flits sent, tail pending).
   bool streams_active() const { return !streams_.empty(); }
-  /// Removes queued (not yet started) packets matching `pred`; returns the
-  /// number removed. Used by RP to void packets whose destination was
-  /// parked between generation and injection.
-  template <typename Pred>
-  std::size_t purge_queue(Pred&& pred) {
-    const std::size_t before = queue_.size();
-    queue_.erase(std::remove_if(queue_.begin(), queue_.end(), pred),
-                 queue_.end());
-    const std::size_t removed = before - queue_.size();
-    if (counters_) counters_->queued_packets -= removed;
-    return removed;
-  }
+  /// Removes queued (not yet started) packets matching `pred` and — with
+  /// the reliable layer on — fails tracked flows matching `pred` fast:
+  /// queued retransmit copies and timed-out entries are declared dead
+  /// immediately, mid-injection ones at tail send, and pending acks to
+  /// matching targets are dropped. Returns the number of queued packets
+  /// removed. Used by RP to void packets whose destination was parked or
+  /// died between generation and injection.
+  std::size_t purge_queue(const std::function<bool(const PacketDescriptor&)>& pred);
   std::size_t queued_packets() const { return queue_.size(); }
   std::uint64_t injected_flits() const { return injected_flits_; }
   std::uint64_t ejected_flits() const { return ejected_flits_; }
   std::uint64_t ejected_packets() const { return ejected_packets_; }
+
+  // --- reliable-delivery introspection (all zero when noc.reliable off) ---
+  std::uint64_t seq_allocated() const { return seq_allocated_; }
+  std::uint64_t packets_acked() const { return acked_; }
+  std::uint64_t packets_dead() const { return dead_declared_; }
+  std::uint64_t packets_purged() const { return purged_; }
+  std::uint64_t killed_at_source() const { return killed_at_source_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t dup_packets() const { return dup_packets_; }
+  std::size_t tx_outstanding() const { return tx_.size(); }
+  /// True when no reliable-delivery obligations remain (the drain phase
+  /// ends when every NI reports this plus the usual idle conditions).
+  bool reliable_quiescent() const { return tx_.empty() && acks_.empty(); }
+  const std::vector<DeadPacket>& dead_log() const { return dead_log_; }
+
+  /// Hard-fault fail-stop (PROTOCOL.md §8): the NI turns into a sink.
+  /// Arriving flits are still consumed and credited (conservation intact)
+  /// but never reported; the queue is destroyed; outstanding reliable flows
+  /// are declared dead; open injection streams finish (a half-injected worm
+  /// must not be left headless in the fabric); new enqueues are destroyed.
+  void kill(Cycle now);
+  bool dead() const { return dead_; }
 
  private:
   struct Stream {
@@ -126,9 +164,31 @@ class NetworkInterface {
     int next_flit = 0;
     Cycle inject_cycle = 0;
   };
+  /// Source-side state of one tracked (dest, seq) flow.
+  struct TxEntry {
+    PacketDescriptor pkt;
+    int retries = 0;
+    bool in_flight = true;  ///< queued or mid-injection (timer disarmed)
+    bool doomed = false;    ///< destination unreachable: die at tail send
+    Cycle deadline = 0;     ///< retransmit timer (valid when !in_flight)
+  };
+  struct PendingAck {
+    NodeId to = kInvalidNode;
+    std::uint32_t seq = 0;
+    Cycle due = 0;  ///< promoted to a standalone ctrl packet at this cycle
+  };
+
+  static std::uint64_t flow_key(NodeId dest, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(dest) << 32) | seq;
+  }
 
   void eject(Cycle now);
   void inject(Cycle now);
+  void step_retx_timers(Cycle now);
+  void declare_dead(const TxEntry& e, std::uint32_t seq, Cycle now);
+  void schedule_ack(NodeId to, std::uint32_t seq, Cycle now);
+  bool already_delivered(NodeId src, std::uint32_t seq) const;
+  void mark_delivered(NodeId src, std::uint32_t seq);
 
   NodeId node_;
   NocParams params_;
@@ -162,6 +222,23 @@ class NetworkInterface {
   std::uint64_t injected_flits_ = 0;
   std::uint64_t ejected_flits_ = 0;
   std::uint64_t ejected_packets_ = 0;
+
+  // --- reliable-delivery state (engaged only when params_.reliable) ---
+  bool dead_ = false;
+  std::map<NodeId, std::uint32_t> tx_next_seq_;  ///< last seq per dest (1-based)
+  std::map<std::uint64_t, TxEntry> tx_;          ///< keyed by flow_key()
+  std::map<NodeId, std::uint32_t> rx_floor_;     ///< all seqs <= floor seen
+  std::map<NodeId, std::set<std::uint32_t>> rx_above_;  ///< seen above floor
+  std::deque<PendingAck> acks_;
+  std::vector<DeadPacket> dead_log_;
+  std::uint64_t seq_allocated_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t dead_declared_ = 0;
+  std::uint64_t purged_ = 0;
+  std::uint64_t killed_at_source_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t dup_packets_ = 0;
 };
 
 }  // namespace flov

@@ -45,6 +45,23 @@ struct NocParams {
   /// latency.hist_overflow metric). Raise it for congested / faulty runs
   /// where p99 saturates at the cap.
   Cycle latency_hist_max = 4096;
+  /// End-to-end reliable delivery in the NI (PROTOCOL.md §8): per-flow
+  /// sequence numbers, a retransmit buffer with capped exponential backoff,
+  /// and 1-flit ack control packets. Off by default — the fault-free
+  /// schemes need none of it and the knob must not perturb existing runs.
+  bool reliable = false;
+  /// Base retransmit timeout, measured from the cycle the tail flit left
+  /// the source queue. The n-th retry waits timeout << min(n,
+  /// retx_backoff_cap) cycles.
+  Cycle retx_timeout = 512;
+  int retx_backoff_cap = 3;
+  /// Retries before a packet is declared dead and surfaced as a structured
+  /// incident (rather than hanging the drain loop forever).
+  int retx_limit = 4;
+  /// Grace period before a pending ack is promoted to a standalone 1-flit
+  /// control packet; within it the ack may piggyback on a data head flit
+  /// already headed to the same node.
+  Cycle ack_delay = 8;
   /// Worker threads for intra-run domain-parallel stepping (1 = serial).
   /// The mesh is split into contiguous row bands stepped under a per-cycle
   /// barrier; results are bit-identical to step_threads=1 by construction
@@ -92,6 +109,12 @@ struct NocParams {
         cfg.get_int("noc.psr_block_timeout", p.psr_block_timeout);
     p.latency_hist_max =
         cfg.get_int("noc.latency_hist_max", p.latency_hist_max);
+    p.reliable = cfg.get_bool("noc.reliable", p.reliable);
+    p.retx_timeout = cfg.get_int("noc.retx_timeout", p.retx_timeout);
+    p.retx_backoff_cap =
+        static_cast<int>(cfg.get_int("noc.retx_backoff_cap", p.retx_backoff_cap));
+    p.retx_limit = static_cast<int>(cfg.get_int("noc.retx_limit", p.retx_limit));
+    p.ack_delay = cfg.get_int("noc.ack_delay", p.ack_delay);
     p.step_threads =
         static_cast<int>(cfg.get_int("noc.step_threads", p.step_threads));
     p.validate();
@@ -107,6 +130,10 @@ struct NocParams {
     FLOV_CHECK(packet_size >= 1, "packet size must be positive");
     FLOV_CHECK(latency_hist_max >= 1, "latency histogram cap must be >= 1");
     FLOV_CHECK(step_threads >= 1, "step_threads must be >= 1");
+    FLOV_CHECK(retx_timeout >= 1, "retransmit timeout must be >= 1 cycle");
+    FLOV_CHECK(retx_backoff_cap >= 0 && retx_backoff_cap < 32,
+               "retransmit backoff cap out of range");
+    FLOV_CHECK(retx_limit >= 0, "retransmit limit must be >= 0");
   }
 };
 

@@ -44,12 +44,17 @@ struct NeighborhoodView {
   /// When true, no NEW packets may be allocated toward this output (the
   /// neighbor is draining or waking up); in-flight packets finish.
   std::array<bool, kNumMeshDirs> output_blocked{false, false, false, false};
+  /// Poisoned-edge marks (PROTOCOL.md §8): the outgoing link in this
+  /// direction hard-faulted and eats every flit. Routing treats a poisoned
+  /// edge as a last-resort turn; unlike output_blocked it never clears.
+  std::array<bool, kNumMeshDirs> link_dead{false, false, false, false};
 
   PowerState physical_state(Direction d) const {
     return physical[dir_index(d)];
   }
   NodeId logical_neighbor(Direction d) const { return logical[dir_index(d)]; }
   bool blocked(Direction d) const { return output_blocked[dir_index(d)]; }
+  bool dead_link(Direction d) const { return link_dead[dir_index(d)]; }
 
   /// "Powered-on neighbor" test used by the dynamic routing algorithm: the
   /// immediate neighbor exists and is Active.

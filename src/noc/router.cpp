@@ -50,6 +50,20 @@ void Router::connect_credit_in(Direction port, Channel<Credit>* ch) {
 }
 
 void Router::step(Cycle now) {
+  if (mode_ == RouterMode::kDead) {
+    // Black hole: destroy arriving flits but still return their credits,
+    // so upstream worms drain through the corpse instead of wedging.
+    for (int p = 0; p < kNumPorts; ++p) {
+      if (in_flit_[p]) {
+        while (auto f = in_flit_[p]->recv(now)) {
+          if (kill_cb_) kill_cb_(*f);
+          if (credit_out_[p]) credit_out_[p]->send(now, Credit{f->vc});
+        }
+      }
+      if (credit_in_[p]) credit_in_[p]->recv_all(now);
+    }
+    return;
+  }
   if (mode_ == RouterMode::kParked) {
     // The fabric manager guarantees no traffic reaches a parked router.
     for (int p = 0; p < kNumPorts; ++p) {
@@ -91,6 +105,29 @@ void Router::step(Cycle now) {
   do_vc_allocation(now);
   do_switch_allocation(now);
   do_route_computation(now);
+
+  // Fail-functional death grace: once every in-progress worm has fully
+  // passed (no resident flits, no staged traversals, no allocated output —
+  // an allocated output means a worm still has flits upstream), the
+  // pipeline goes dark for good.
+  if (dying_ && resident_flits_ == 0 && pending_st_.empty() &&
+      all_outputs_idle()) {
+    dying_ = false;
+    dying_eat_.fill(0);
+    set_mode(RouterMode::kDead, now);
+  }
+}
+
+void Router::begin_death(Cycle now) {
+  if (mode_ == RouterMode::kDead || dying_) return;
+  if (mode_ == RouterMode::kPipeline &&
+      !(completely_empty() && all_outputs_idle())) {
+    dying_ = true;
+    return;
+  }
+  // Empty pipeline, or a parked router (which sees no traffic at all):
+  // nothing mid-flight to orphan, die on the spot.
+  set_mode(RouterMode::kDead, now);
 }
 
 void Router::accept_credits(Cycle now) {
@@ -122,11 +159,48 @@ void Router::accept_credits(Cycle now) {
   }
 }
 
+void Router::refund_output_credit(Direction out_port, VcId vc, Cycle now) {
+  const int p = dir_index(out_port);
+  if (mode_ == RouterMode::kPipeline) {
+    auto& ovc = output_[p].vcs[vc];
+    ovc.credits++;
+    FLOV_DCHECK(ovc.credits <= params_.buffer_depth,
+                "credit refund overflow at router " + std::to_string(id_));
+  } else if (mode_ == RouterMode::kBypass) {
+    // The credit belongs to the active router upstream of the bypass
+    // chain; relay it there exactly like a received credit (a bypassed
+    // flit out `out_port` came in from opposite(out_port), so the
+    // upstream line exists).
+    if (auto* ch = credit_out_[dir_index(opposite(out_port))]) {
+      ch->send(now, Credit{vc});
+      count(EnergyEvent::kCreditRelay);
+    }
+  }
+  // kParked/kDead never send, so a refund cannot arise there.
+}
+
 void Router::accept_flits(Cycle now) {
   for (int p = 0; p < kNumPorts; ++p) {
     if (!in_flit_[p]) continue;
     while (auto f = in_flit_[p]->recv(now)) {
       auto& vc = input_[p].vcs[f->vc];
+      if (dying_) {
+        // Worms already admitted finish; every NEW worm (its head arrives
+        // after begin_death) is eaten whole with the kDead black-hole
+        // contract — destroyed and credited, so the upstream sender streams
+        // it out and frees its own VC state.
+        const std::uint32_t bit = 1u << f->vc;
+        if (f->head || (dying_eat_[p] & bit) != 0) {
+          if (f->tail) {
+            dying_eat_[p] &= ~bit;
+          } else {
+            dying_eat_[p] |= bit;
+          }
+          if (kill_cb_) kill_cb_(*f);
+          if (credit_out_[p]) credit_out_[p]->send(now, Credit{f->vc});
+          continue;
+        }
+      }
       FLOV_CHECK(vc.occupancy() < params_.buffer_depth,
                  "input buffer overflow at router " + std::to_string(id_));
       if (f->head && vc.state == VcState::kIdle) {
@@ -348,6 +422,11 @@ int Router::distance_along(Direction d, NodeId n) const {
 
 bool Router::must_hold_for_wakeup(const InputVc& vc, const Flit& head) {
   if (vc.out_dir == Direction::Local || head.dest == id_) return false;
+  if (dead_mask_ && (*dead_mask_)[head.dest]) {
+    // Dead destination: never hold (it cannot wake). Fly over; the dead
+    // router's bypass self-captures the flit into its always-on NI sink.
+    return false;
+  }
   const int dist = distance_along(vc.out_dir, head.dest);
   if (dist <= 0) return false;  // destination is not straight along out_dir
   const NodeId logical = view_.logical_neighbor(vc.out_dir);
@@ -521,6 +600,37 @@ void Router::dump_occupancy(Cycle now) const {
 
 void Router::set_mode(RouterMode m, Cycle now) {
   if (m == mode_) return;
+  FLOV_CHECK(mode_ != RouterMode::kDead, "a dead router cannot change mode");
+  if (m == RouterMode::kDead) {
+    // Death is instantaneous: resident flits die with the tile. Their
+    // buffer slots are surrendered back upstream so senders mid-worm can
+    // keep streaming (into the black hole) and free their own VC state.
+    for (int p = 0; p < kNumPorts; ++p) {
+      for (VcId v = 0; v < static_cast<VcId>(input_[p].vcs.size()); ++v) {
+        auto& vc = input_[p].vcs[v];
+        while (!vc.buffer.empty()) {
+          const Flit f = vc.buffer.front();
+          vc.buffer.pop_front();
+          resident_flits_--;
+          if (kill_cb_) kill_cb_(f);
+          if (credit_out_[p]) credit_out_[p]->send(now, Credit{v});
+        }
+        vc.reset_to_idle();
+      }
+    }
+    for (auto& l : latch_) {
+      if (l.flit.has_value()) {
+        if (kill_cb_) kill_cb_(*l.flit);
+        l.flit.reset();
+        resident_flits_--;
+      }
+    }
+    pending_st_.clear();
+    mode_ = m;
+    if (wake_) wake_->mark(wake_index_);
+    if (power_) power_->set_mode(id_, RouterPowerMode::kRpParked, now);
+    return;
+  }
   if (m == RouterMode::kBypass || m == RouterMode::kParked) {
     FLOV_CHECK(input_buffers_empty(),
                "gating a router with buffered flits: " + std::to_string(id_));

@@ -41,6 +41,13 @@ enum class RouterMode : std::uint8_t {
   kPipeline = 0,  ///< baseline router operational
   kBypass,        ///< power-gated with FLOV latches active
   kParked,        ///< fully off (Router Parking)
+  /// Hard-faulted (permanently dead, PROTOCOL.md §8). Unlike kParked —
+  /// whose contract is that no traffic ever arrives — a dead router is a
+  /// black hole that actively destroys arriving flits (reported through the
+  /// kill callback for fault accounting) while still returning their
+  /// credits upstream, so in-flight worms drain through the corpse instead
+  /// of wedging their upstream VCs forever.
+  kDead,
 };
 
 class Router {
@@ -91,6 +98,17 @@ class Router {
   /// tracker, charges the gating-overhead energy on entry to a gated mode).
   void set_mode(RouterMode m, Cycle now);
 
+  /// Hard-fault entry point for pipeline (RP/baseline) routers. Death must
+  /// be worm-coherent: an instant kDead switch would destroy the local
+  /// remainder of worms whose heads this router already forwarded, leaving
+  /// tail-less fragments downstream that hold their VC allocations forever.
+  /// Instead the router turns fail-functional for a short grace: it keeps
+  /// forwarding worms already in progress, eats every NEW worm whole
+  /// (head-to-tail, credits refunded — the kDead black-hole contract), and
+  /// switches to kDead on the first cycle its datapath is clean. An
+  /// already-empty router dies instantly.
+  void begin_death(Cycle now);
+
   NeighborhoodView& view() { return view_; }
   const NeighborhoodView& view() const { return view_; }
 
@@ -126,6 +144,16 @@ class Router {
   /// Cycle of the last local-port (core-side) flit activity.
   Cycle last_local_activity() const { return last_local_activity_; }
 
+  /// Immediate credit refund for a flit this router sent on `out_port`
+  /// that a fault destroyed ON the wire (dead link, transient drop): the
+  /// downstream buffer never sees the flit, so its credit must not leak —
+  /// a dead link would otherwise bleed the output VC dry and wedge the
+  /// fabric behind it forever. Mirrors accept_credits: a pipeline router
+  /// reclaims the output-VC credit, a bypass router relays it upstream on
+  /// the same line. Called from the channel fault hook, i.e. inside this
+  /// router's own step — same worker under domain-parallel stepping.
+  void refund_output_credit(Direction out_port, VcId vc, Cycle now);
+
   // --- credit-handover support (see flov/credit_handover.cpp) ---
   /// Fills `out` with the free buffer slots per VC at `in_port` — the
   /// caller keeps a reusable scratch vector (per-cycle paths must not
@@ -142,6 +170,20 @@ class Router {
   void set_wakeup_callback(std::function<void(NodeId)> cb) {
     wakeup_cb_ = std::move(cb);
   }
+
+  /// Hook invoked once per flit this router destroys while kDead (wired by
+  /// the scheme layer to the fault injector's hard-kill accounting + the
+  /// network's in-flight counter).
+  void set_kill_callback(std::function<void(const Flit&)> cb) {
+    kill_cb_ = std::move(cb);
+  }
+
+  /// Shared hard-fault fate mask (index = node id; non-null entries flip to
+  /// true when the death cycle applies). A destination inside a sleeping
+  /// run that is dead must NOT trigger hold-for-wakeup: the packet flies
+  /// over instead and the dead router's bypass self-captures it into the
+  /// always-on NI sink.
+  void set_dead_mask(const std::vector<char>* mask) { dead_mask_ = mask; }
 
   // --- introspection for tests ---
   const InputPort& input_port(Direction d) const {
@@ -227,12 +269,20 @@ class Router {
   int va_rotate_ = 0;
 
   std::function<void(NodeId)> wakeup_cb_;
+  std::function<void(const Flit&)> kill_cb_;
+  const std::vector<char>* dead_mask_ = nullptr;
   WakeList* wake_ = nullptr;
   int wake_index_ = -1;
   /// Flits resident right now (input VC buffers + FLOV latches), maintained
   /// incrementally; completely_empty()/quiescent() read it instead of
   /// walking every VC. FLOV_DCHECKed against buffered_flits() in debug.
   int resident_flits_ = 0;
+  /// Fail-functional death grace (begin_death): still kPipeline, finishing
+  /// worms in progress; flips to kDead once the datapath is clean.
+  bool dying_ = false;
+  /// Per input port, a VC bitmask of worms being eaten whole while dying:
+  /// set by an arriving head, cleared by its tail.
+  std::array<std::uint32_t, kNumPorts> dying_eat_{};
   /// First cycle whose VA round-robin tick has not been applied yet; lets
   /// step() replay the ticks of skipped idle cycles so allocation order is
   /// identical to stepping every cycle. Only pipeline-mode cycles tick.

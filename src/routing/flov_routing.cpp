@@ -19,11 +19,17 @@ RouteDecision FlovRouting::route(const RouteContext& ctx, const Flit& flit) {
   const Direction xdir = quadrant_x(p);
   const NeighborhoodView& view = *ctx.view;
 
-  // YX preference: turn at the powered Y neighbor first, then X.
-  if (ydir != ctx.in_dir && view.neighbor_powered(ydir)) {
+  // YX preference: turn at the powered Y neighbor first, then X. A
+  // poisoned (hard-faulted) outgoing link demotes its turn below the other
+  // productive candidate — but remains usable as the only option, so the
+  // packet keeps moving and its loss is charged to the dead link.
+  const bool y_turn = ydir != ctx.in_dir && view.neighbor_powered(ydir);
+  const bool x_turn = xdir != ctx.in_dir && view.neighbor_powered(xdir);
+  if (y_turn &&
+      !(view.dead_link(ydir) && x_turn && !view.dead_link(xdir))) {
     return {ydir, false};
   }
-  if (xdir != ctx.in_dir && view.neighbor_powered(xdir)) {
+  if (x_turn) {
     return {xdir, false};
   }
 

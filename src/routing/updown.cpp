@@ -7,10 +7,16 @@
 namespace flov {
 
 UpDownRoutes::UpDownRoutes(const MeshGeometry& geom,
-                           const std::vector<bool>& powered)
+                           const std::vector<bool>& powered,
+                           const std::vector<char>* dead_links)
     : geom_(geom), powered_(powered), level_(geom.num_nodes(), -1) {
   FLOV_CHECK(static_cast<int>(powered.size()) == geom.num_nodes(),
              "powered mask size mismatch");
+  if (dead_links != nullptr) {
+    FLOV_CHECK(static_cast<int>(dead_links->size()) == geom.num_nodes() * 4,
+               "dead-link mask size mismatch");
+    dead_links_ = *dead_links;
+  }
   const int n = geom.num_nodes();
 
   // Root the BFS tree at the smallest powered id.
@@ -30,6 +36,7 @@ UpDownRoutes::UpDownRoutes(const MeshGeometry& geom,
     for (Direction d : kMeshDirections) {
       const NodeId b = geom.neighbor(a, d);
       if (b == kInvalidNode || !powered_[b] || level_[b] >= 0) continue;
+      if (!edge_ok(a, d)) continue;
       level_[b] = level_[a] + 1;
       q.push_back(b);
     }
@@ -56,6 +63,7 @@ UpDownRoutes::UpDownRoutes(const MeshGeometry& geom,
       for (Direction d : kMeshDirections) {
         const NodeId a = geom.neighbor(b, d);
         if (a == kInvalidNode || !powered_[a] || level_[a] < 0) continue;
+        if (!edge_ok(b, d)) continue;
         const Direction a_to_b = opposite(d);
         const bool up = is_up_link(a, a_to_b);
         if (up) {
@@ -84,6 +92,13 @@ UpDownRoutes::UpDownRoutes(const MeshGeometry& geom,
   }
 }
 
+bool UpDownRoutes::edge_ok(NodeId a, Direction d) const {
+  if (dead_links_.empty()) return true;
+  const NodeId b = geom_.neighbor(a, d);
+  return !dead_links_[a * 4 + dir_index(d)] &&
+         !dead_links_[b * 4 + dir_index(opposite(d))];
+}
+
 bool UpDownRoutes::is_up_link(NodeId a, Direction d) const {
   const NodeId b = geom_.neighbor(a, d);
   FLOV_DCHECK(b != kInvalidNode, "up-link query off edge");
@@ -102,6 +117,7 @@ std::optional<UpDownRoutes::Hop> UpDownRoutes::next_hop(NodeId from,
   for (Direction d : kMeshDirections) {
     const NodeId b = geom_.neighbor(from, d);
     if (b == kInvalidNode || !powered_[b] || level_[b] < 0) continue;
+    if (!edge_ok(from, d)) continue;
     const bool up = is_up_link(from, d);
     if (up && went_down) continue;  // illegal move
     const bool phase_after = went_down || !up;

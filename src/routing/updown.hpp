@@ -23,7 +23,14 @@ class UpDownRoutes {
  public:
   /// Builds routes over the routers with `powered[id] == true`. Nodes
   /// outside the powered set are unreachable endpoints.
-  UpDownRoutes(const MeshGeometry& geom, const std::vector<bool>& powered);
+  ///
+  /// `dead_links` (optional): hard-faulted directed links, indexed by
+  /// link_key = node * 4 + dir_index(dir). A mesh edge with EITHER
+  /// direction dead is excluded entirely (conservative: up*/down* trees
+  /// want symmetric edges, and a half-dead link would eat every
+  /// credit/flit anyway).
+  UpDownRoutes(const MeshGeometry& geom, const std::vector<bool>& powered,
+               const std::vector<char>* dead_links = nullptr);
 
   struct Hop {
     Direction dir = Direction::Local;
@@ -56,8 +63,13 @@ class UpDownRoutes {
     return 2 * n + (went_down ? 1 : 0);
   }
 
+  /// True when the mesh edge from `a` toward `d` survives (both directions
+  /// alive); vacuously true without a dead-link mask.
+  bool edge_ok(NodeId a, Direction d) const;
+
   const MeshGeometry& geom_;
   std::vector<bool> powered_;
+  std::vector<char> dead_links_;  ///< empty = no hard link faults
   std::vector<int> level_;   ///< BFS level; -1 if unpowered/disconnected
   NodeId root_ = kInvalidNode;
   /// dist_[dest][state]: legal hops from (node, phase) to dest; -1 = none.

@@ -23,9 +23,24 @@ FabricManager::FabricManager(Network* net, TableRouting* routing,
 
 void FabricManager::set_core_gated(NodeId core, bool gated, Cycle now) {
   (void)now;
+  if (router_dead(core)) return;  // a dead node's gating is permanent
   if (gated_core_[core] == gated) return;
   gated_core_[core] = gated;
   dirty_ = true;
+}
+
+void FabricManager::on_hard_fault(const std::vector<char>& dead_routers,
+                                  const std::vector<char>& dead_links,
+                                  Cycle now) {
+  dead_routers_ = dead_routers;
+  dead_links_ = dead_links;
+  for (NodeId i = 0; i < net_->num_nodes(); ++i) {
+    // A dead node's core generates nothing; fold it into the gating view
+    // so the parking policy sees it as a candidate, not a constraint.
+    if (router_dead(i)) gated_core_[i] = true;
+  }
+  dirty_ = true;
+  next_allowed_ = now;  // survival reconfigurations bypass the epoch gap
 }
 
 void FabricManager::begin_reconfig(Cycle now) {
@@ -39,21 +54,55 @@ void FabricManager::begin_reconfig(Cycle now) {
 }
 
 void FabricManager::apply(Cycle now) {
-  const std::uint64_t purged_before = purged_;
+  // Only read by the FLOV_TRACE below, which compiles out without
+  // FLYOVER_TRACING.
+  [[maybe_unused]] const std::uint64_t purged_before = purged_;
+  const bool hard = !dead_routers_.empty();
   powered_ = compute_parked_set(net_->geom(), gated_core_, always_on_,
                                 cfg_.policy);
-  auto routes = std::make_shared<UpDownRoutes>(net_->geom(), powered_);
-  FLOV_CHECK(routes->all_powered_connected(),
-             "RP parked set disconnected the powered sub-graph");
-  routing_->install(std::move(routes));
+  // Dead routers are excluded unconditionally — always_on cannot save a
+  // corpse.
+  if (hard) {
+    for (NodeId i = 0; i < net_->num_nodes(); ++i) {
+      if (router_dead(i)) powered_[i] = false;
+    }
+  }
+  auto routes = std::make_shared<UpDownRoutes>(
+      net_->geom(), powered_, hard ? &dead_links_ : nullptr);
+  if (!hard) {
+    FLOV_CHECK(routes->all_powered_connected(),
+               "RP parked set disconnected the powered sub-graph");
+  } else if (!routes->all_powered_connected()) {
+    // Hard faults can fragment the mesh: quarantine every live router the
+    // surviving root component cannot reach (park it, seal its NI, treat
+    // its core as gated) and rebuild. Its unfinished traffic is declared
+    // dead by the NI kill — fail fast instead of retrying into a wall.
+    for (NodeId i = 0; i < net_->num_nodes(); ++i) {
+      if (!powered_[i] || routes->bfs_level(i) >= 0) continue;
+      powered_[i] = false;
+      gated_core_[i] = true;
+      net_->ni(i).kill(now);
+      quarantined_++;
+    }
+    routes = std::make_shared<UpDownRoutes>(net_->geom(), powered_,
+                                            &dead_links_);
+  }
+  routing_->install(routes);
   for (NodeId i = 0; i < net_->num_nodes(); ++i) {
-    net_->router(i).set_mode(
-        powered_[i] ? RouterMode::kPipeline : RouterMode::kParked, now);
+    // Dead routers were switched to kDead at the fault instant and can
+    // never change mode again; the FM manages only the living.
+    if (!router_dead(i)) {
+      net_->router(i).set_mode(
+          powered_[i] ? RouterMode::kPipeline : RouterMode::kParked, now);
+    }
     // Packets generated before the change but aimed at a node that is now
     // parked have no legal route; void them (counted; the OS/coherence
-    // layer would never address a parked node in steady state).
+    // layer would never address a parked node in steady state). Under hard
+    // faults this extends to any (src, dest) pair the surviving up*/down*
+    // graph cannot connect.
     purged_ += net_->ni(i).purge_queue([&](const PacketDescriptor& p) {
-      return !powered_[p.dest];
+      if (!powered_[p.dest]) return true;
+      return hard && powered_[i] && !routes->reachable(i, p.dest);
     });
   }
   dirty_ = false;

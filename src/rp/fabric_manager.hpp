@@ -42,6 +42,18 @@ class FabricManager {
   void set_core_gated(NodeId core, bool gated, Cycle now);
   bool core_gated(NodeId core) const { return gated_core_[core]; }
 
+  /// Hard-fault notification (PROTOCOL.md §8): the listed routers/links
+  /// died permanently. Dead routers are excluded from every future parked
+  /// set and up*/down* graph; live routers the deaths disconnect from the
+  /// surviving root component are quarantined (NI killed, core treated as
+  /// gated, router parked) at the next apply. Schedules an immediate
+  /// reconfiguration, bypassing the epoch gap.
+  void on_hard_fault(const std::vector<char>& dead_routers,
+                     const std::vector<char>& dead_links, Cycle now);
+  bool router_dead(NodeId id) const {
+    return !dead_routers_.empty() && dead_routers_[id] != 0;
+  }
+
   void step(Cycle now);
 
   /// Adjusts the epoch batching interval at run time (full-system runs).
@@ -55,6 +67,8 @@ class FabricManager {
   std::uint64_t reconfigurations() const { return reconfigs_; }
   std::uint64_t purged_packets() const { return purged_; }
   Cycle last_reconfig_duration() const { return last_duration_; }
+  /// Live routers parked + sealed because hard faults disconnected them.
+  std::uint64_t quarantined() const { return quarantined_; }
 
  private:
   enum class Phase { kStable, kDraining, kComputing, kWaking };
@@ -78,6 +92,10 @@ class FabricManager {
   std::uint64_t reconfigs_ = 0;
   std::uint64_t purged_ = 0;
   Cycle last_duration_ = 0;
+  /// Hard-fault state (empty until on_hard_fault).
+  std::vector<char> dead_routers_;
+  std::vector<char> dead_links_;
+  std::uint64_t quarantined_ = 0;
 };
 
 }  // namespace flov

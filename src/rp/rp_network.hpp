@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "noc/network.hpp"
 #include "noc/system_iface.hpp"
 #include "power/power_tracker.hpp"
@@ -18,9 +19,15 @@ class RpNetwork final : public NocSystem {
   /// `always_on`: routers that may never park (empty = none). RP hardware
   /// has no FLOV latches, so routers pay no FLOV leakage overhead and the
   /// escape-diversion mechanism is disabled (up*/down* is deadlock-free).
+  /// `faults`: optional fault model. RP has no handshake fabric, so only
+  /// the flit-link fates apply (transient drop/delay + hard link/router
+  /// deaths); always-on routers are exempt from hard router death (they
+  /// anchor the surviving up*/down* component, mirroring FLOV's AON-column
+  /// exemption).
   RpNetwork(NocParams params, const EnergyParams& energy,
             FabricManagerConfig fm_cfg = {},
-            std::vector<bool> always_on = {});
+            std::vector<bool> always_on = {},
+            const FaultParams& faults = {});
 
   void step(Cycle now) override;
   void set_core_gated(NodeId core, bool gated, Cycle now) override {
@@ -43,16 +50,33 @@ class RpNetwork final : public NocSystem {
 
   int parked_router_count() const;
 
+  /// The armed fault injector, or null when running fault-free.
+  FaultInjector* fault_injector() { return fault_.get(); }
+  const FaultInjector* fault_injector() const { return fault_.get(); }
+  const std::vector<char>& dead_mask() const { return dead_mask_; }
+  int dead_router_count() const;
+  int dead_link_count() const { return dead_links_; }
+
   /// Registers/updates the fabric-manager metrics ("rp.*") in `reg`.
   void publish_metrics(telemetry::MetricsRegistry& reg) const;
 
  private:
+  /// Applies the armed hard faults once, at fault.hard_at_cycle: fate-hashed
+  /// routers turn kDead (flit black holes) with their NIs sealed, and the
+  /// FM is notified so its next epoch excludes the corpses and dead links.
+  void apply_hard_faults(Cycle now);
+
   NocParams params_;
   MeshGeometry geom_;
   std::unique_ptr<PowerTracker> power_;
   std::unique_ptr<TableRouting> routing_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<FabricManager> fm_;
+  std::unique_ptr<FaultInjector> fault_;
+  std::vector<bool> always_on_;
+  std::vector<char> dead_mask_;
+  int dead_links_ = 0;
+  bool hard_applied_ = false;
 };
 
 }  // namespace flov

@@ -1,8 +1,13 @@
 #include "sim/baseline_network.hpp"
 
+#include "fault/fault_wiring.hpp"
+#include "noc/router.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace flov {
 
-BaselineNetwork::BaselineNetwork(NocParams params, const EnergyParams& energy)
+BaselineNetwork::BaselineNetwork(NocParams params, const EnergyParams& energy,
+                                 const FaultParams& faults)
     : params_(params), geom_(params.width, params.height) {
   params_.enable_escape_diversion = false;  // YX is deadlock-free
   power_ = std::make_unique<PowerTracker>(geom_, energy,
@@ -10,6 +15,60 @@ BaselineNetwork::BaselineNetwork(NocParams params, const EnergyParams& energy)
   routing_ = std::make_unique<YxRouting>(geom_);
   net_ = std::make_unique<Network>(params_, routing_.get(), power_.get());
   gated_.assign(geom_.num_nodes(), false);
+  dead_mask_.assign(geom_.num_nodes(), 0);
+  if (faults.any()) {
+    fault_ = std::make_unique<FaultInjector>(faults, net_->num_nodes());
+    arm_link_faults(*net_, *fault_);
+    for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+      net_->router(id).set_kill_callback(
+          [f = fault_.get(), n = net_.get(), id](const Flit& fl) {
+            f->note_hard_killed(fl);
+            n->note_flit_dropped(id);
+          });
+    }
+  }
+}
+
+void BaselineNetwork::step(Cycle now) {
+  if (fault_ && !hard_applied_ && fault_->hard_at() > 0 &&
+      now >= fault_->hard_at()) {
+    hard_applied_ = true;
+    apply_hard_faults(now);
+  }
+  net_->step(now);
+}
+
+void BaselineNetwork::apply_hard_faults(Cycle now) {
+  std::vector<char> dead_links;
+  dead_links_ = mark_dead_links(*net_, *fault_, dead_links);
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+    if (!fault_->router_dies(id)) continue;
+    dead_mask_[id] = 1;
+    gated_[id] = true;  // the attached core is gone with its router
+    // Worm-coherent death: finish worms in progress, eat new ones whole,
+    // then go dark (see Router::begin_death).
+    net_->router(id).begin_death(now);
+    net_->ni(id).kill(now);
+    net_->wake_router(id);
+  }
+}
+
+int BaselineNetwork::dead_router_count() const {
+  int n = 0;
+  for (char c : dead_mask_) n += c != 0;
+  return n;
+}
+
+void BaselineNetwork::publish_metrics(telemetry::MetricsRegistry& reg) const {
+  if (!fault_) return;
+  const FaultInjector::Counters& f = fault_->counters();
+  reg.counter("fault.flits_dropped") += f.flits_dropped;
+  reg.counter("fault.flits_delayed") += f.flits_delayed;
+  if (fault_->hard_at() > 0) {
+    reg.counter("fault.hard_killed_flits") += f.hard_killed;
+    reg.gauge("fault.dead_routers") = static_cast<double>(dead_router_count());
+    reg.gauge("fault.dead_links") = static_cast<double>(dead_links_);
+  }
 }
 
 }  // namespace flov

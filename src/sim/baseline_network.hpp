@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "noc/network.hpp"
 #include "noc/system_iface.hpp"
 #include "power/power_tracker.hpp"
@@ -15,11 +16,17 @@ namespace flov {
 
 class BaselineNetwork final : public NocSystem {
  public:
-  BaselineNetwork(NocParams params, const EnergyParams& energy);
+  /// `faults`: optional fault model (flit-link fates + hard deaths only —
+  /// there is no handshake fabric). The baseline has no reconfiguration
+  /// mechanism, so a dead router simply eats every YX path through it;
+  /// end-to-end recovery (noc.reliable) is what accounts for the loss.
+  BaselineNetwork(NocParams params, const EnergyParams& energy,
+                  const FaultParams& faults = {});
 
-  void step(Cycle now) override { net_->step(now); }
+  void step(Cycle now) override;
   void set_core_gated(NodeId core, bool gated, Cycle now) override {
     (void)now;
+    if (dead_mask_[core]) return;  // a dead node's gating is permanent
     gated_[core] = gated;
   }
   bool core_gated(NodeId core) const override { return gated_[core]; }
@@ -31,13 +38,29 @@ class BaselineNetwork final : public NocSystem {
   PowerTracker& power() { return *power_; }
   const PowerTracker& power() const { return *power_; }
 
+  /// The armed fault injector, or null when running fault-free.
+  FaultInjector* fault_injector() { return fault_.get(); }
+  const FaultInjector* fault_injector() const { return fault_.get(); }
+  const std::vector<char>& dead_mask() const { return dead_mask_; }
+  int dead_router_count() const;
+  int dead_link_count() const { return dead_links_; }
+
+  /// Registers/updates the fault metrics in `reg` (no-op fault-free).
+  void publish_metrics(telemetry::MetricsRegistry& reg) const;
+
  private:
+  void apply_hard_faults(Cycle now);
+
   NocParams params_;
   MeshGeometry geom_;
   std::unique_ptr<PowerTracker> power_;
   std::unique_ptr<YxRouting> routing_;
   std::unique_ptr<Network> net_;
   std::vector<bool> gated_;
+  std::unique_ptr<FaultInjector> fault_;
+  std::vector<char> dead_mask_;
+  int dead_links_ = 0;
+  bool hard_applied_ = false;
 };
 
 }  // namespace flov

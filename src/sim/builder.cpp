@@ -33,7 +33,7 @@ BuiltSystem build_system(Scheme scheme, const NocParams& params,
   BuiltSystem out;
   switch (scheme) {
     case Scheme::kBaseline: {
-      auto sys = std::make_unique<BaselineNetwork>(params, energy);
+      auto sys = std::make_unique<BaselineNetwork>(params, energy, faults);
       out.power = &sys->power();
       out.system = std::move(sys);
       break;
@@ -55,7 +55,7 @@ BuiltSystem build_system(Scheme scheme, const NocParams& params,
     case Scheme::kRp: {
       auto sys = std::make_unique<RpNetwork>(params, energy,
                                              FabricManagerConfig{},
-                                             std::move(always_on));
+                                             std::move(always_on), faults);
       out.power = &sys->power();
       out.system = std::move(sys);
       break;

@@ -33,8 +33,10 @@ struct BuiltSystem {
 
 /// `always_on`: routers RP must never park (MCs); ignored by other schemes
 /// (FLOV keeps its AON column on regardless).
-/// `faults`: fault-injection model; only the FLOV schemes honor it (the
-/// handshake fabric is what the faults target), others run reliable.
+/// `faults`: fault-injection model, honored by every scheme. FLOV arms both
+/// the handshake fabric and the flit links; RP and Baseline have no
+/// handshake fabric, so only the flit-link fates (transient drop/delay and
+/// the hard router/link deaths of PROTOCOL.md §8) apply there.
 BuiltSystem build_system(Scheme scheme, const NocParams& params,
                          const EnergyParams& energy,
                          std::vector<bool> always_on = {},

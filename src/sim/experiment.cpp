@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "flov/flov_network.hpp"
 #include "rp/rp_network.hpp"
+#include "sim/baseline_network.hpp"
 #include "telemetry/json.hpp"
 #include "traffic/gating_scenario.hpp"
 #include "traffic/synthetic_traffic.hpp"
@@ -37,6 +38,7 @@ const char* router_mode_name(RouterMode m) {
     case RouterMode::kPipeline: return "pipeline";
     case RouterMode::kBypass: return "bypass";
     case RouterMode::kParked: return "parked";
+    case RouterMode::kDead: return "dead";
   }
   return "?";
 }
@@ -81,6 +83,105 @@ void record_stall_incident(NocSystem& sys, telemetry::StructuredSink& sink,
   w.kv("in_network_flits", net.in_network_flits());
   w.end_object();
   sink.add(w.take());
+}
+
+/// Cycle-budget incident ("hard_cycle_cap" when sim.max_cycles_hard fires,
+/// "drain_exhausted" when the post-run drain budget runs out): where the
+/// run stood when the budget died, so partial stats can be interpreted.
+void record_budget_incident(NocSystem& sys, telemetry::StructuredSink& sink,
+                            const char* kind, Cycle now, Cycle budget) {
+  Network& net = sys.network();
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("kind", kind);
+  w.kv("scheme", sys.name());
+  w.kv("cycle", static_cast<std::uint64_t>(now));
+  w.kv("budget", static_cast<std::uint64_t>(budget));
+  w.kv("queued_packets", net.total_queued_packets());
+  w.kv("in_network_flits", net.in_network_flits());
+  w.end_object();
+  sink.add(w.take());
+}
+
+/// One "packet_dead" incident per flow that exhausted its retries, in
+/// node-id order (deterministic across thread counts), capped so a run
+/// where a hot node's whole neighborhood died cannot bloat the manifest.
+/// The aggregate count always lands in run.packets_dead.
+void record_dead_packets(Network& net, telemetry::StructuredSink& sink) {
+  constexpr std::size_t kMaxDeadIncidents = 200;
+  std::size_t emitted = 0;
+  std::uint64_t suppressed = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    for (const DeadPacket& d : net.ni(id).dead_log()) {
+      if (emitted >= kMaxDeadIncidents) {
+        suppressed++;
+        continue;
+      }
+      telemetry::JsonWriter w;
+      w.begin_object();
+      w.kv("kind", "packet_dead");
+      w.kv("src", d.pkt.src);
+      w.kv("dest", d.pkt.dest);
+      w.kv("seq", static_cast<std::uint64_t>(d.seq));
+      w.kv("size_flits", d.pkt.size_flits);
+      w.kv("retries", d.retries);
+      w.kv("declared_at", static_cast<std::uint64_t>(d.declared_at));
+      w.end_object();
+      sink.add(w.take());
+      emitted++;
+    }
+  }
+  if (suppressed > 0) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("kind", "packet_dead_overflow");
+    w.kv("suppressed", suppressed);
+    w.end_object();
+    sink.add(w.take());
+  }
+}
+
+/// Post-mortem of the hard-fault wave: which routers died (with
+/// coordinates), how many directed links died, and how many wake requests
+/// were addressed to a corpse.
+void record_hard_fault_summary(NocSystem& sys,
+                               const std::vector<char>& dead_mask,
+                               int dead_links, std::uint64_t wake_dropped,
+                               telemetry::StructuredSink& sink) {
+  Network& net = sys.network();
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("kind", "hard_fault_summary");
+  w.kv("scheme", sys.name());
+  w.key("dead_routers");
+  w.begin_array();
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (id >= static_cast<NodeId>(dead_mask.size()) || !dead_mask[id]) {
+      continue;
+    }
+    const Coord c = net.geom().coord(id);
+    w.begin_object();
+    w.kv("router", id);
+    w.kv("x", c.x);
+    w.kv("y", c.y);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("dead_links", dead_links);
+  w.kv("wake_requests_dropped", wake_dropped);
+  w.end_object();
+  sink.add(w.take());
+}
+
+/// Drain completion: fabric empty, every NI's queue and open streams gone,
+/// and (reliable mode) every flow settled — acked or declared dead.
+bool fully_drained(Network& net) {
+  if (!net.in_flight_empty()) return false;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const NetworkInterface& ni = net.ni(id);
+    if (!ni.idle() || !ni.reliable_quiescent()) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -131,16 +232,33 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     if (flov_sys) {
       verifier = std::make_unique<InvariantVerifier>(*flov_sys, vopts);
     } else {
-      verifier = std::make_unique<InvariantVerifier>(net, vopts);
+      // Conservation-only form needs the scheme's armed injector so faulted
+      // flit drops (and hard-killed flits) balance the equation.
+      const FaultInjector* fi = nullptr;
+      if (auto* p = dynamic_cast<const RpNetwork*>(&sys)) {
+        fi = p->fault_injector();
+      } else if (auto* b = dynamic_cast<const BaselineNetwork*>(&sys)) {
+        fi = b->fault_injector();
+      }
+      verifier = std::make_unique<InvariantVerifier>(net, vopts, fi);
     }
   }
 
   const Cycle total = cfg.warmup + cfg.measure;
+  const Cycle hard_cap = cfg.max_cycles_hard;
   std::uint64_t last_ejected = 0;
   Cycle last_progress = 0;
   std::uint64_t recoveries = 0;
   bool recovery_armed = true;  ///< one recovery attempt per stall episode
+  bool aborted = false;
+  Cycle end_cycle = total;  ///< first cycle NOT simulated
   for (Cycle now = 0; now < total; ++now) {
+    if (hard_cap != 0 && now >= hard_cap) {
+      record_budget_incident(sys, *incidents, "hard_cycle_cap", now, hard_cap);
+      aborted = true;
+      end_cycle = now;
+      break;
+    }
     scenario.apply(sys, now);
     traffic.step(now);
     sys.step(now);
@@ -178,6 +296,14 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
         FLOV_TRACE(telemetry::kTraceRecovery,
                    telemetry::TraceEventType::kRecoveryAttempt, now, -1,
                    recovered ? 1 : 0, recoveries + 1);
+        if (!recovered && hard_cap != 0) {
+          // With a hard cycle cap armed the caller opted into
+          // partial-results-over-abort: surface the unrecoverable stall as
+          // an incident and stop the run instead of FLOV_CHECK-aborting.
+          aborted = true;
+          end_cycle = now;
+          break;
+        }
         FLOV_CHECK(recovered,
                    std::string("no forward progress (possible deadlock) in ") +
                        to_string(cfg.scheme));
@@ -188,37 +314,99 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     }
   }
 
+  // Post-measurement drain: traffic generation and gating changes stop;
+  // the system keeps stepping so in-flight worms land, retransmit timers
+  // fire, and every reliable flow resolves to acked-or-dead. Bounded by
+  // drain_max (and the hard cap); running out is an incident, not an
+  // abort — the verifier's final sweep still runs on whatever remains.
+  if (!aborted && cfg.drain_max != 0) {
+    const Cycle drain_end = total + cfg.drain_max;
+    Cycle now = total;
+    for (; now < drain_end; ++now) {
+      if (hard_cap != 0 && now >= hard_cap) {
+        record_budget_incident(sys, *incidents, "hard_cycle_cap", now,
+                               hard_cap);
+        aborted = true;
+        break;
+      }
+      if (fully_drained(net)) break;
+      sys.step(now);
+      if (verifier) verifier->step(now);
+    }
+    end_cycle = now;
+    if (!aborted && now == drain_end && !fully_drained(net)) {
+      record_budget_incident(sys, *incidents, "drain_exhausted", now,
+                             cfg.drain_max);
+    }
+  }
+
   RunResult r;
   r.scheme = to_string(cfg.scheme);
+  r.aborted = aborted;
+  r.cycles_run = end_cycle;
   r.avg_latency = stats.avg_latency();
   r.p50_latency = stats.latency_percentile(50);
   r.p99_latency = stats.latency_percentile(99);
   r.breakdown = stats.avg_breakdown();
-  r.power = built.power->report(total);
+  r.power = built.power->report(end_cycle);
   r.packets_measured = stats.packets();
   r.packets_generated = traffic.generated_packets();
   r.injected_flits = net.total_injected_flits();
   r.ejected_flits = net.total_ejected_flits();
   r.escape_packets = stats.escape_packets();
   r.watchdog_recoveries = recoveries;
+  const FaultInjector* fault = nullptr;
   if (FlovNetwork* f = flov_sys) {
     r.gated_routers_end = f->gated_router_count();
-    const auto ps = f->protocol_stats(total);
+    const auto ps = f->protocol_stats(end_cycle);
     r.avg_gated_routers = ps.avg_gated_routers;
     r.protocol_sleeps = ps.sleeps;
     r.protocol_wakeups = ps.wakeups;
     r.hs_resends = ps.hs_resends;
     r.trigger_resends = ps.trigger_resends;
     r.self_captures = ps.self_captures;
-    if (const FaultInjector* fi = f->fault_injector()) {
-      r.flits_dropped_by_faults = fi->counters().flits_dropped;
+    fault = f->fault_injector();
+    r.dead_routers = f->dead_router_count();
+    r.dead_links = f->dead_link_count();
+    r.wake_requests_dropped = f->wake_requests_dropped();
+    if (r.dead_routers > 0 || r.dead_links > 0) {
+      record_hard_fault_summary(sys, f->dead_mask(), r.dead_links,
+                                r.wake_requests_dropped, *incidents);
     }
   } else if (auto* p = dynamic_cast<RpNetwork*>(&sys)) {
     r.gated_routers_end = p->parked_router_count();
     r.avg_gated_routers = r.gated_routers_end;
+    fault = p->fault_injector();
+    r.dead_routers = p->dead_router_count();
+    r.dead_links = p->dead_link_count();
+    if (r.dead_routers > 0 || r.dead_links > 0) {
+      record_hard_fault_summary(sys, p->dead_mask(), r.dead_links, 0,
+                                *incidents);
+    }
+  } else if (auto* b = dynamic_cast<BaselineNetwork*>(&sys)) {
+    fault = b->fault_injector();
+    r.dead_routers = b->dead_router_count();
+    r.dead_links = b->dead_link_count();
+    if (r.dead_routers > 0 || r.dead_links > 0) {
+      record_hard_fault_summary(sys, b->dead_mask(), r.dead_links, 0,
+                                *incidents);
+    }
+  }
+  if (fault) r.flits_dropped_by_faults = fault->counters().flits_dropped;
+  if (cfg.noc.reliable) {
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const NetworkInterface& ni = net.ni(id);
+      r.packets_acked += ni.packets_acked();
+      r.packets_dead += ni.packets_dead();
+      r.packets_purged += ni.packets_purged();
+      r.killed_at_source += ni.killed_at_source();
+      r.retransmits += ni.retransmits();
+      r.dup_packets += ni.dup_packets();
+    }
+    record_dead_packets(net, *incidents);
   }
   if (verifier) {
-    verifier->final_check(total);
+    verifier->final_check(end_cycle);
     r.verifier_violations = verifier->violations();
     r.verifier_checks = verifier->checks_run();
   }
@@ -229,14 +417,26 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   // registries deterministically.
   net.publish_metrics(*metrics);
   stats.publish_metrics(*metrics);
-  built.power->publish_metrics(*metrics, total);
+  built.power->publish_metrics(*metrics, end_cycle);
   if (flov_sys) {
-    flov_sys->publish_metrics(*metrics, total);
+    flov_sys->publish_metrics(*metrics, end_cycle);
   } else if (auto* p = dynamic_cast<RpNetwork*>(&sys)) {
     p->publish_metrics(*metrics);
+  } else if (auto* b = dynamic_cast<BaselineNetwork*>(&sys)) {
+    b->publish_metrics(*metrics);
   }
   metrics->counter("run.packets_generated") += traffic.generated_packets();
   metrics->counter("run.watchdog_recoveries") += recoveries;
+  metrics->counter("run.cycles") += end_cycle;
+  if (aborted) metrics->counter("run.aborted") += 1;
+  if (cfg.noc.reliable) {
+    metrics->counter("run.packets_acked") += r.packets_acked;
+    metrics->counter("run.packets_dead") += r.packets_dead;
+    metrics->counter("run.packets_purged") += r.packets_purged;
+    metrics->counter("run.killed_at_source") += r.killed_at_source;
+    metrics->counter("run.retransmits") += r.retransmits;
+    metrics->counter("run.dup_packets") += r.dup_packets;
+  }
   if (verifier) {
     metrics->counter("verify.violations") += verifier->violations();
     metrics->counter("verify.checks") += verifier->checks_run();

@@ -40,7 +40,19 @@ struct SyntheticExperimentConfig {
   /// try one scheme-level recovery; abort only if the stall persists
   /// (0 = disabled).
   Cycle watchdog = 50000;
-  /// Fault-injection model (FLOV schemes only; all-zero = reliable).
+  /// Post-measurement drain budget (0 = none): traffic generation stops at
+  /// warmup+measure and the system keeps stepping — at most this many extra
+  /// cycles — until the fabric is empty and every reliable NI has settled
+  /// all of its flows (acked or declared dead). Running out of budget is
+  /// recorded as a structured incident, not an abort.
+  Cycle drain_max = 0;
+  /// Hard cycle cap (sim.max_cycles_hard; 0 = off): the absolute upper
+  /// bound on simulated cycles. Exceeding it — or a watchdog stall that
+  /// recovery cannot heal while the cap is set — aborts the run with a
+  /// structured incident and partial stats instead of FLOV_CHECK-aborting
+  /// the process.
+  Cycle max_cycles_hard = 0;
+  /// Fault-injection model (all-zero = reliable fabric).
   FaultParams faults;
   /// Run the invariant verifier alongside the simulation.
   bool verify = true;
@@ -75,6 +87,22 @@ struct RunResult {
   std::uint64_t trigger_resends = 0;   ///< re-armed WakeupTriggers
   std::uint64_t self_captures = 0;     ///< bypass self-destined captures
   std::uint64_t flits_dropped_by_faults = 0;
+  // --- reliable delivery (noc.reliable; PROTOCOL.md §8) ---
+  std::uint64_t packets_acked = 0;     ///< flows confirmed end-to-end
+  std::uint64_t packets_dead = 0;      ///< flows declared dead (retries out)
+  std::uint64_t packets_purged = 0;    ///< unsequenced queue purges (RP)
+  std::uint64_t killed_at_source = 0;  ///< queued at an NI when it died
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_packets = 0;       ///< duplicate deliveries suppressed
+  // --- hard faults ---
+  int dead_routers = 0;
+  int dead_links = 0;                  ///< dead directed links
+  std::uint64_t wake_requests_dropped = 0;
+  /// True when sim.max_cycles_hard aborted the run (stats are partial).
+  bool aborted = false;
+  /// Cycles actually simulated (warmup + measure + any drain tail; less
+  /// when aborted).
+  Cycle cycles_run = 0;
   std::vector<TimeSeries::Point> timeline;
   // --- telemetry (always populated; shared so RunResult stays copyable) ---
   /// Full metrics registry for this run (merged across runs by sweeps).

@@ -25,6 +25,23 @@ struct SweepOptions {
   /// Called on the submitting thread granularity-free: progress(done, total)
   /// after each point completes (any worker; serialized). May be null.
   std::function<void(int done, int total)> progress;
+
+  // --- self-healing (sim/checkpoint.hpp) ---
+  /// Extra attempts for a point whose run threw a std::exception, with
+  /// capped exponential backoff (retry_backoff_ms << attempt, attempt
+  /// capped at 10) between attempts. 0 = fail fast (the historic
+  /// behaviour). Aborts (FLOV_CHECK) are process-fatal and NOT retried —
+  /// those are what the checkpoint file is for.
+  int retries = 0;
+  int retry_backoff_ms = 0;
+  /// JSONL checkpoint: one lossless line appended (and flushed) per
+  /// completed point, so a killed sweep can resume. "" = no checkpointing.
+  std::string checkpoint_path;
+  /// Load checkpoint_path first and skip every intact point whose config
+  /// fingerprint still matches; the file keeps growing from there. The
+  /// merged metrics of a resumed sweep are byte-identical to an
+  /// uninterrupted one.
+  bool resume = false;
 };
 
 /// `jobs` resolved against the machine: 0 -> hardware_concurrency (>= 1).

@@ -113,9 +113,23 @@ void JsonWriter::raw(const std::string& json) {
 
 namespace {
 
+/// Thrown by the tolerant parse path instead of FLOV_CHECK-aborting.
+struct ParseError {};
+
 struct Parser {
   const std::string& s;
   std::size_t pos = 0;
+  bool tolerant = false;
+
+  [[noreturn]] void fail(const std::string& msg) {
+    if (tolerant) throw ParseError{};
+    FLOV_CHECK(false, msg);
+    std::abort();  // unreachable; FLOV_CHECK(false) does not return
+  }
+
+  void check(bool cond, const std::string& msg) {
+    if (!cond) fail(msg);
+  }
 
   void skip_ws() {
     while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
@@ -124,14 +138,13 @@ struct Parser {
 
   char peek() {
     skip_ws();
-    FLOV_CHECK(pos < s.size(), "json: unexpected end of input");
+    check(pos < s.size(), "json: unexpected end of input");
     return s[pos];
   }
 
   void expect(char c) {
-    FLOV_CHECK(peek() == c,
-               std::string("json: expected '") + c + "' at offset " +
-                   std::to_string(pos));
+    check(peek() == c, std::string("json: expected '") + c + "' at offset " +
+                           std::to_string(pos));
     pos++;
   }
 
@@ -139,11 +152,11 @@ struct Parser {
     expect('"');
     std::string out;
     while (true) {
-      FLOV_CHECK(pos < s.size(), "json: unterminated string");
+      check(pos < s.size(), "json: unterminated string");
       char c = s[pos++];
       if (c == '"') break;
       if (c == '\\') {
-        FLOV_CHECK(pos < s.size(), "json: bad escape");
+        check(pos < s.size(), "json: bad escape");
         char e = s[pos++];
         switch (e) {
           case '"': out += '"'; break;
@@ -153,7 +166,7 @@ struct Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            FLOV_CHECK(pos + 4 <= s.size(), "json: bad \\u escape");
+            check(pos + 4 <= s.size(), "json: bad \\u escape");
             const unsigned code = static_cast<unsigned>(
                 std::strtoul(s.substr(pos, 4).c_str(), nullptr, 16));
             pos += 4;
@@ -162,7 +175,7 @@ struct Parser {
             break;
           }
           default:
-            FLOV_CHECK(false, std::string("json: unknown escape \\") + e);
+            fail(std::string("json: unknown escape \\") + e);
         }
       } else {
         out += c;
@@ -212,24 +225,24 @@ struct Parser {
       v.kind = JsonValue::Kind::kString;
       v.str = parse_string();
     } else if (c == 't') {
-      FLOV_CHECK(s.compare(pos, 4, "true") == 0, "json: bad literal");
+      check(s.compare(pos, 4, "true") == 0, "json: bad literal");
       pos += 4;
       v.kind = JsonValue::Kind::kBool;
       v.b = true;
     } else if (c == 'f') {
-      FLOV_CHECK(s.compare(pos, 5, "false") == 0, "json: bad literal");
+      check(s.compare(pos, 5, "false") == 0, "json: bad literal");
       pos += 5;
       v.kind = JsonValue::Kind::kBool;
       v.b = false;
     } else if (c == 'n') {
-      FLOV_CHECK(s.compare(pos, 4, "null") == 0, "json: bad literal");
+      check(s.compare(pos, 4, "null") == 0, "json: bad literal");
       pos += 4;
       v.kind = JsonValue::Kind::kNull;
     } else {
       v.kind = JsonValue::Kind::kNumber;
       char* end = nullptr;
       v.num = std::strtod(s.c_str() + pos, &end);
-      FLOV_CHECK(end != s.c_str() + pos, "json: bad number");
+      check(end != s.c_str() + pos, "json: bad number");
       pos = static_cast<std::size_t>(end - s.c_str());
     }
     return v;
@@ -250,6 +263,20 @@ JsonValue JsonValue::parse(const std::string& text) {
   p.skip_ws();
   FLOV_CHECK(p.pos == text.size(), "json: trailing garbage");
   return v;
+}
+
+bool JsonValue::try_parse(const std::string& text, JsonValue* out) {
+  Parser p{text};
+  p.tolerant = true;
+  try {
+    JsonValue v = p.parse_value();
+    p.skip_ws();
+    if (p.pos != text.size()) return false;
+    *out = std::move(v);
+    return true;
+  } catch (const ParseError&) {
+    return false;
+  }
 }
 
 }  // namespace flov::telemetry

@@ -20,6 +20,7 @@ const char* router_mode_name(RouterMode m) {
     case RouterMode::kPipeline: return "pipeline";
     case RouterMode::kBypass: return "bypass";
     case RouterMode::kParked: return "parked";
+    case RouterMode::kDead: return "dead";
   }
   return "?";
 }
@@ -40,8 +41,9 @@ InvariantVerifier::InvariantVerifier(FlovNetwork& sys, VerifierOptions opts)
       [this](const PacketRecord& rec) { observe_eject(rec); });
 }
 
-InvariantVerifier::InvariantVerifier(Network& net, VerifierOptions opts)
-    : net_(net), opts_(opts) {
+InvariantVerifier::InvariantVerifier(Network& net, VerifierOptions opts,
+                                     const FaultInjector* fault)
+    : net_(net), fault_(fault), opts_(opts) {
   FLOV_CHECK(opts_.check_interval >= 1, "verifier interval must be >= 1");
   opts_.check_credits = false;  // meaningful only with the FLOV handover
   opts_.check_psr = false;
@@ -119,16 +121,39 @@ void InvariantVerifier::step(Cycle now) {
   if (flov_) track_fsm_changes(now);
   if (now % opts_.check_interval != 0) return;
   checks_run_++;
-  if (opts_.check_conservation) check_conservation(now);
+  if (opts_.check_conservation) {
+    check_conservation(now);
+    if (net_.params().reliable) check_delivery(now);
+  }
   if (opts_.check_credits) check_credits(now);
   if (opts_.check_psr) check_psr(now);
 }
 
 void InvariantVerifier::final_check(Cycle now) {
   checks_run_++;
-  if (opts_.check_conservation) check_conservation(now);
+  if (opts_.check_conservation) {
+    check_conservation(now);
+    if (net_.params().reliable) check_delivery(now);
+  }
   if (opts_.check_credits) check_credits(now);
   if (opts_.check_psr) check_psr(now);
+}
+
+void InvariantVerifier::check_delivery(Cycle now) {
+  for (NodeId id = 0; id < net_.num_nodes(); ++id) {
+    const auto& ni = net_.ni(id);
+    const std::uint64_t alloc = ni.seq_allocated();
+    const std::uint64_t acked = ni.packets_acked();
+    const std::uint64_t dead = ni.packets_dead();
+    const std::uint64_t outstanding = ni.tx_outstanding();
+    if (alloc != acked + dead + outstanding) {
+      std::ostringstream os;
+      os << "reliable-delivery accounting broken at NI " << id
+         << ": seq_allocated=" << alloc << " acked=" << acked
+         << " declared_dead=" << dead << " outstanding=" << outstanding;
+      violation(now, os.str());
+    }
+  }
 }
 
 void InvariantVerifier::check_conservation(Cycle now) {
@@ -167,10 +192,11 @@ void InvariantVerifier::check_conservation(Cycle now) {
 }
 
 void InvariantVerifier::check_credits(Cycle now) {
-  // Exact unless flit-drop faults are armed: a dropped flit's credit is
-  // legitimately gone until the next handover resynthesizes the counters,
-  // so only the upper bound survives.
-  const bool exact = !fault_ || fault_->params().flit_drop_rate <= 0.0;
+  // Exact unless flit-drop or hard faults are armed: a dropped/killed
+  // flit's credit is legitimately gone until the next handover
+  // resynthesizes the counters, so only the upper bound survives.
+  const bool exact = !fault_ || (fault_->params().flit_drop_rate <= 0.0 &&
+                                 !fault_->params().hard_faults_armed());
   const MeshGeometry& g = net_.geom();
   const NocParams& p = net_.params();
   const int nvc = p.total_vcs();
@@ -253,10 +279,15 @@ void InvariantVerifier::check_psr(Cycle now) {
     // rFLOV adjacency: two physically adjacent gated routers can never
     // legitimately coexist, transients included (drain entry requires all
     // neighbors Active and arbitration serializes), so check instantly.
-    if (restricted && (s == PowerState::kSleep || s == PowerState::kWakeup)) {
+    if (restricted && (s == PowerState::kSleep || s == PowerState::kWakeup) &&
+        !flov_->router_dead(id)) {
       for (Direction d : {Direction::East, Direction::South}) {
         const NodeId m = g.neighbor(id, d);
         if (m == kInvalidNode) continue;
+        // Hard faults do not respect the adjacency rule: two neighbors can
+        // die together, and a dead router sleeps forever regardless of who
+        // is next to it.
+        if (flov_->router_dead(m)) continue;
         const PowerState ms = state_of(m);
         if (ms == PowerState::kSleep || ms == PowerState::kWakeup) {
           std::ostringstream os;
@@ -302,7 +333,8 @@ void InvariantVerifier::check_psr(Cycle now) {
       // FSMs stable a full settle window yet still paired means the
       // arbitration/priority signals were lost beyond recovery.
       if (!restricted && s == PowerState::kDraining &&
-          expected != kInvalidNode) {
+          expected != kInvalidNode && !flov_->router_dead(id) &&
+          !flov_->router_dead(expected)) {
         const PowerState es = state_of(expected);
         if ((es == PowerState::kDraining || es == PowerState::kWakeup) &&
             now - last_fsm_change_[id] >= opts_.settle_window &&

@@ -81,8 +81,10 @@ class InvariantVerifier {
 
   /// Conservation-only verifier for any bare Network (Baseline; RP parks
   /// routers and voids credits by design, so only flit conservation is a
-  /// meaningful invariant there).
-  InvariantVerifier(Network& net, VerifierOptions opts = {});
+  /// meaningful invariant there). `fault` (optional): the scheme's armed
+  /// injector, so faulted flit drops balance the conservation equation.
+  InvariantVerifier(Network& net, VerifierOptions opts = {},
+                    const FaultInjector* fault = nullptr);
 
   /// Run the armed checks; call once per cycle after the system stepped.
   void step(Cycle now);
@@ -99,6 +101,10 @@ class InvariantVerifier {
 
  private:
   void check_conservation(Cycle now);
+  /// Reliable-delivery bookkeeping (noc.reliable only): per NI, every
+  /// allocated sequence number is acked, declared dead, or still tracked in
+  /// the retransmit buffer — no flow is ever silently forgotten.
+  void check_delivery(Cycle now);
   void check_credits(Cycle now);
   void check_psr(Cycle now);
   void track_fsm_changes(Cycle now);

@@ -12,6 +12,7 @@
 
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace flov {
 namespace {
@@ -184,6 +185,49 @@ TEST(Determinism, ThreadedStepMatchesSerialUnderFaultInjection) {
     SCOPED_TRACE(threads);
     expect_identical(serial, par);
     EXPECT_EQ(serial.flits_dropped_by_faults, par.flits_dropped_by_faults);
+  }
+}
+
+TEST(Determinism, ThreadedHardFaultRunManifestBytesMatchSerial) {
+  // Hard faults (routers DIE mid-run) + the reliable-delivery layer on
+  // top, threads=4 vs threads=1: fate hashes are schedule-independent and
+  // the incident/metric emission order is pinned to node-id order, so the
+  // whole run manifest — metrics, incidents, counters — must byte-match.
+  SyntheticExperimentConfig ex = sized_config(Scheme::kGFlov, 8, 0.3, 31, 1);
+  ex.noc.reliable = true;
+  ex.noc.retx_timeout = 64;
+  ex.drain_max = 20000;
+  ex.max_cycles_hard = 100000;
+  ex.verifier.fatal = false;
+  ex.verifier.settle_window = 512;
+  ex.faults.seed = 31;
+  ex.faults.hard_router_pct = 0.08;
+  ex.faults.hard_link_pct = 0.04;
+  ex.faults.hard_at_cycle = ex.warmup + ex.measure / 3;
+
+  const auto manifest_of = [](const RunResult& r) {
+    telemetry::RunManifest m;
+    m.name = "determinism_test";
+    m.scheme = r.scheme;
+    m.seed = 31;
+    m.metrics = r.metrics.get();
+    m.incidents = r.incidents.get();
+    return m.to_json();  // volatile fields left at defaults on both sides
+  };
+  const RunResult serial = run_synthetic(ex);
+  ASSERT_GT(serial.dead_routers, 0);
+  ASSERT_FALSE(serial.aborted);
+  for (int threads : {2, 4}) {
+    ex.noc.step_threads = threads;
+    const RunResult par = run_synthetic(ex);
+    SCOPED_TRACE(threads);
+    expect_identical(serial, par);
+    EXPECT_EQ(serial.packets_acked, par.packets_acked);
+    EXPECT_EQ(serial.packets_dead, par.packets_dead);
+    EXPECT_EQ(serial.retransmits, par.retransmits);
+    EXPECT_EQ(serial.dead_routers, par.dead_routers);
+    EXPECT_EQ(serial.dead_links, par.dead_links);
+    EXPECT_EQ(manifest_of(serial), manifest_of(par));
   }
 }
 

@@ -399,7 +399,9 @@ TEST(ExperimentTelemetry, MetricsJsonIsRunDeterministic) {
 TEST(ExperimentTelemetry, SweepMergeFoldsAllPoints) {
   std::vector<SyntheticExperimentConfig> points{small_cfg(Scheme::kGFlov),
                                                 small_cfg(Scheme::kBaseline)};
-  const auto results = run_sweep(points, SweepOptions{1, nullptr});
+  SweepOptions sopts;
+  sopts.jobs = 1;
+  const auto results = run_sweep(points, sopts);
   const MetricsRegistry merged = merge_sweep_metrics(results);
   EXPECT_EQ(merged.counter_value("run.packets_generated"),
             results[0].packets_generated + results[1].packets_generated);
