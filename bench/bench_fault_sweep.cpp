@@ -14,7 +14,16 @@
 //
 //   bench_fault_sweep [measure=30000] [width=8] [seed=3] [csv=out.csv]
 //                     [json=out.json]      flyover-sweep-manifest-v1 rows
+//
+// Certification-convergence mode: certify=1 replaces the tables with a
+// Monte-Carlo certification campaign on the hard-fault config and prints
+// one row per batch — certified bound vs replications spent — showing the
+// sequential stopping rule terminating before the cap.
+//
+//   bench_fault_sweep certify=1 [certify_max=200] [certify_target=0.9]
+//                     [csv=out.csv]
 #include "bench_util.hpp"
+#include "sim/certify.hpp"
 
 namespace {
 
@@ -171,6 +180,86 @@ void run_hard_fault_sweep(
   all_results->insert(all_results->end(), results.begin(), results.end());
 }
 
+// certify=1: Monte-Carlo certification on the hard-fault survival config.
+// One row per folded batch — the running Wilson bound on delivery vs the
+// replications spent so far — so the convergence (and the sequential rule
+// stopping before the cap) is visible in the output, not just asserted.
+int run_certify_convergence(flov::SyntheticExperimentConfig ex,
+                            const flov::Config& cfg, int jobs, int argc,
+                            char** argv) {
+  using namespace flov;
+  using namespace flov::bench;
+
+  // Same hardening as the hard-fault table, scaled down per replication:
+  // a certification campaign buys its statistical power from replication
+  // count, not from one long run.
+  ex.scheme = Scheme::kGFlov;
+  ex.noc.reliable = true;
+  ex.noc.retx_timeout = 256;
+  ex.noc.sleep_reannounce_interval = 128;
+  ex.noc.psr_block_timeout = 192;
+  ex.verifier.fatal = false;
+  ex.verifier.settle_window = 512;
+  ex.pattern = "uniform";
+  ex.inj_rate_flits = 0.05;
+  ex.gated_fraction = 0.3;
+  ex.warmup = 500;
+  ex.measure = cfg.get_int("certify_measure", 2500);
+  ex.drain_max = 30000;
+  ex.max_cycles_hard = 4 * (ex.warmup + ex.measure) + ex.drain_max;
+  ex.faults = FaultParams{};
+  ex.faults.hard_router_pct = 0.03;
+  ex.faults.hard_link_pct = 0.015;
+  ex.faults.hard_at_cycle = ex.warmup + ex.measure / 4;
+  ex.faults.seed = ex.seed;
+
+  CertifyOptions opts;
+  opts.metric = "delivery";
+  opts.confidence = 0.95;
+  opts.target = cfg.get_double("certify_target", 0.9);
+  opts.indifference = 0.02;
+  opts.min_replications = 32;
+  opts.max_replications =
+      static_cast<std::uint64_t>(cfg.get_int("certify_max", 200));
+  opts.batch = 16;
+  opts.seed_base = ex.seed;
+  opts.jobs = jobs;
+
+  // Own sink with the convergence-row header — CsvSink fixes its header at
+  // construction, so certify mode cannot reuse the table sink from main.
+  CsvSink conv_csv(
+      argc, argv,
+      "reps,successes,trials,point,wilson_lower,wilson_upper,half_width");
+
+  print_header(
+      "Certification convergence — delivery bound vs replications "
+      "(gFLOV 8x8, routers die mid-run)");
+  std::printf("%6s %10s %8s %8s %14s %14s %11s\n", "reps", "successes",
+              "trials", "point", "wilson_lower", "wilson_upper",
+              "half_width");
+  opts.batch_hook = [&conv_csv](std::uint64_t reps,
+                                const CertifyEstimate& e) {
+    std::printf("%6llu %10llu %8llu %8.5f %14.5f %14.5f %11.5f\n",
+                static_cast<unsigned long long>(reps),
+                static_cast<unsigned long long>(e.successes),
+                static_cast<unsigned long long>(e.trials), e.point,
+                e.wilson.lower, e.wilson.upper, e.wilson.half_width());
+    conv_csv.row("%llu,%llu,%llu,%.6f,%.6f,%.6f,%.6f",
+                 static_cast<unsigned long long>(reps),
+                 static_cast<unsigned long long>(e.successes),
+                 static_cast<unsigned long long>(e.trials), e.point,
+                 e.wilson.lower, e.wilson.upper, e.wilson.half_width());
+  };
+
+  const CertifyResult res = run_certification(ex, opts);
+  std::printf("stop: %s after %llu/%llu replications%s\n",
+              res.stop_reason.c_str(),
+              static_cast<unsigned long long>(res.replications),
+              static_cast<unsigned long long>(opts.max_replications),
+              res.stopped_early ? " (early)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +270,10 @@ int main(int argc, char** argv) {
   flov::Config cfg;
   cfg.parse_args(argc, argv);
   ex.measure = cfg.get_int("measure", ex.measure);
+  if (cfg.get_bool("certify", false)) {
+    const flov::SweepOptions sweep = flov::bench::sweep_from_args(argc, argv);
+    return run_certify_convergence(ex, cfg, sweep.jobs, argc, argv);
+  }
   flov::bench::CsvSink csv(
       argc, argv,
       "figure,scheme,drop_rate,latency,hs_resends,trigger_resends,"

@@ -17,6 +17,10 @@
 // Keys:
 //   schemes=a,b,...  patterns=a,b,...  inj=x,y,...  gated=x,y,...
 //   seeds=n,m,...                      (each list defaults to one value)
+//   reps=N seed_base=S                 replication axis: N seeds derived
+//                                      from S via derive_replication_seed
+//                                      (overrides seeds=; what the certify
+//                                      harness builds on)
 //   warmup= cycles= timeline= drain= sim.max_cycles_hard= threads=
 //   jobs=N retries=N retry_backoff_ms=N checkpoint=path resume=0|1
 //   manifest=path                      flyover-sweep-manifest-v1
@@ -28,6 +32,7 @@
 
 #include "common/config.hpp"
 #include "fault/fault_model.hpp"
+#include "sim/certify.hpp"
 #include "sim/sweep.hpp"
 #include "telemetry/manifest.hpp"
 
@@ -71,7 +76,21 @@ int main(int argc, char** argv) {
   const auto patterns = split_list(cfg.get_string("patterns", "uniform"));
   const auto injs = split_list(cfg.get_string("inj", "0.02"));
   const auto gateds = split_list(cfg.get_string("gated", "0.0"));
-  const auto seeds = split_list(cfg.get_string("seeds", "1"));
+  // Replication axis: reps=N expands to N seeds derived from seed_base the
+  // same way the certification harness derives them — a hand-run sweep
+  // over reps= and a certify campaign over the same base hit identical
+  // per-replication configs (and hence identical checkpoint fingerprints).
+  std::vector<std::string> seeds;
+  const auto reps = static_cast<std::uint64_t>(cfg.get_int("reps", 0));
+  if (reps > 0) {
+    const auto seed_base =
+        static_cast<std::uint64_t>(cfg.get_int("seed_base", 1));
+    for (std::uint64_t i = 0; i < reps; ++i) {
+      seeds.push_back(std::to_string(derive_replication_seed(seed_base, i)));
+    }
+  } else {
+    seeds = split_list(cfg.get_string("seeds", "1"));
+  }
 
   std::vector<SyntheticExperimentConfig> points;
   for (const auto& sc : schemes) {

@@ -5,6 +5,8 @@ Usage:
     scripts/validate_telemetry.py --trace run.trace.json
     scripts/validate_telemetry.py --manifest run.json
     scripts/validate_telemetry.py --diff-manifests serial.json parallel.json
+    scripts/validate_telemetry.py --certificate cert.json \
+        [--reference scripts/certify_reference.json] [--expect-early-stop]
 
 --trace: checks the file is a Chrome-trace-event document Perfetto will
 load: an object with a "traceEvents" array whose entries carry the
@@ -14,6 +16,13 @@ async begin/end pairs balance per (cat, id).
 --manifest: checks a flyover-run-manifest-v1 / flyover-sweep-manifest-v1
 document has its required fields and a well-formed embedded metrics
 registry.
+
+--certificate: checks a flyover-certificate-v1 document is well-formed
+and internally consistent (counts, interval ordering, stop reason).
+With --reference, additionally enforces the regression gate: the
+certificate's certified lower bound on the reference's target metric
+must not fall below the checked-in floor. With --expect-early-stop,
+fails unless the sequential rule resolved before the replication cap.
 
 --diff-manifests: strips the VOLATILE fields (wall_seconds, jobs,
 trace_path, threads, noc.step_threads — the only fields allowed to
@@ -32,6 +41,10 @@ VOLATILE_KEYS = {"wall_seconds", "jobs", "trace_path", "threads",
 
 RUN_SCHEMA = "flyover-run-manifest-v1"
 SWEEP_SCHEMA = "flyover-sweep-manifest-v1"
+CERT_SCHEMA = "flyover-certificate-v1"
+
+STOP_REASONS = {"target_certified", "target_refuted", "half_width",
+                "max_replications"}
 
 
 def fail(msg):
@@ -144,6 +157,80 @@ def validate_manifest(path):
           % (path, schema, extra, len(doc["incidents"])))
 
 
+def validate_certificate(path, reference=None, expect_early_stop=False):
+    doc = load(path)
+    if doc.get("schema") != CERT_SCHEMA:
+        fail("%s: schema is %r, want %r" % (path, doc.get("schema"),
+                                            CERT_SCHEMA))
+    required = ("name", "git_describe", "config", "config_fingerprint",
+                "seed_base", "replications", "max_replications",
+                "confidence", "target_metric", "target", "stop_reason",
+                "jobs", "wall_seconds", "metrics")
+    for field in required:
+        if field not in doc:
+            fail("%s: missing field %r" % (path, field))
+    if not 0.0 < doc["confidence"] < 1.0:
+        fail("%s: confidence %r not in (0, 1)" % (path, doc["confidence"]))
+    if doc["stop_reason"] not in STOP_REASONS:
+        fail("%s: unknown stop_reason %r" % (path, doc["stop_reason"]))
+    if not 0 < doc["replications"] <= doc["max_replications"]:
+        fail("%s: replications %r outside (0, max_replications=%r]"
+             % (path, doc["replications"], doc["max_replications"]))
+    if not isinstance(doc["metrics"], list) or not doc["metrics"]:
+        fail("%s: metrics is not a non-empty array" % path)
+    by_name = {}
+    for i, m in enumerate(doc["metrics"]):
+        for field in ("name", "successes", "trials", "point",
+                      "wilson_lower", "wilson_upper",
+                      "clopper_pearson_lower", "clopper_pearson_upper"):
+            if field not in m:
+                fail("%s: metrics[%d] missing %r" % (path, i, field))
+        if m["successes"] > m["trials"]:
+            fail("%s: metric %r has successes > trials"
+                 % (path, m["name"]))
+        for lo, hi in (("wilson_lower", "wilson_upper"),
+                       ("clopper_pearson_lower", "clopper_pearson_upper")):
+            if not (0.0 <= m[lo] <= m["point"] <= m[hi] <= 1.0):
+                fail("%s: metric %r interval disordered: "
+                     "%s=%r point=%r %s=%r"
+                     % (path, m["name"], lo, m[lo], m["point"], hi, m[hi]))
+        by_name[m["name"]] = m
+    if doc["target_metric"] not in by_name:
+        fail("%s: target_metric %r has no metrics entry"
+             % (path, doc["target_metric"]))
+    if expect_early_stop and doc["stop_reason"] == "max_replications":
+        fail("%s: expected the sequential rule to stop before the cap, "
+             "but the campaign ran all %r replications"
+             % (path, doc["max_replications"]))
+    print("OK: %s: %s, %d/%d replications, stop=%s"
+          % (path, CERT_SCHEMA, doc["replications"],
+             doc["max_replications"], doc["stop_reason"]))
+
+    if reference is None:
+        return
+    ref = load(reference)
+    metric_name = ref.get("target_metric", doc["target_metric"])
+    if metric_name not in by_name:
+        fail("%s: reference targets metric %r, absent from certificate"
+             % (path, metric_name))
+    m = by_name[metric_name]
+    floor = ref.get("min_wilson_lower")
+    if floor is None:
+        fail("%s: no min_wilson_lower in reference" % reference)
+    if "min_confidence" in ref and doc["confidence"] < ref["min_confidence"]:
+        fail("%s: confidence %r below the reference's required %r"
+             % (path, doc["confidence"], ref["min_confidence"]))
+    if m["wilson_lower"] < floor:
+        fail("reliability regression: certified %s lower bound %.6f fell "
+             "below the reference floor %.6f (point %.6f over %d trials).\n"
+             "  If the drop is intended, update %s with justification."
+             % (metric_name, m["wilson_lower"], floor, m["point"],
+                m["trials"], reference))
+    print("OK: certified %s >= %.6f (floor %.6f, %d%% confidence)"
+          % (metric_name, m["wilson_lower"], floor,
+             round(doc["confidence"] * 100)))
+
+
 def strip_volatile(node):
     if isinstance(node, dict):
         return {k: strip_volatile(v) for k, v in node.items()
@@ -207,15 +294,29 @@ def main():
                     help="validate a run/sweep manifest")
     ap.add_argument("--diff-manifests", nargs=2, metavar=("A", "B"),
                     help="compare two manifests modulo volatile fields")
+    ap.add_argument("--certificate", metavar="FILE",
+                    help="validate a flyover-certificate-v1 document")
+    ap.add_argument("--reference", metavar="FILE",
+                    help="with --certificate: enforce the checked-in "
+                         "certified-bound floor (regression gate)")
+    ap.add_argument("--expect-early-stop", action="store_true",
+                    help="with --certificate: fail unless the sequential "
+                         "rule resolved before the replication cap")
     args = ap.parse_args()
 
-    if not (args.trace or args.manifest or args.diff_manifests):
-        ap.error("nothing to do: pass --trace, --manifest and/or "
-                 "--diff-manifests")
+    if not (args.trace or args.manifest or args.diff_manifests
+            or args.certificate):
+        ap.error("nothing to do: pass --trace, --manifest, --certificate "
+                 "and/or --diff-manifests")
+    if (args.reference or args.expect_early_stop) and not args.certificate:
+        ap.error("--reference/--expect-early-stop require --certificate")
     if args.trace:
         validate_trace(args.trace)
     if args.manifest:
         validate_manifest(args.manifest)
+    if args.certificate:
+        validate_certificate(args.certificate, reference=args.reference,
+                             expect_early_stop=args.expect_early_stop)
     if args.diff_manifests:
         diff_manifests(*args.diff_manifests)
 

@@ -1,0 +1,30 @@
+// Capped exponential backoff, shared by every retry loop in the tree
+// (NI retransmission deadlines in src/noc, sweep retry sleeps in
+// src/sim/sweep.cpp). One definition so the overflow handling is written —
+// and tested — once: a plain `base << shift` with an unchecked shift count
+// is UB at >= 64 and silently wraps below that.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace flov {
+
+/// base * 2^min(attempt, cap), saturating at UINT64_MAX instead of
+/// overflowing. attempt < 0 is treated as 0; cap < 0 means "uncapped"
+/// (still saturating).
+constexpr std::uint64_t backoff_shift(std::uint64_t base, int attempt,
+                                      int cap) {
+  int shift = attempt < 0 ? 0 : attempt;
+  if (cap >= 0 && shift > cap) shift = cap;
+  if (base == 0) return 0;
+  if (shift >= 64) return std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t shifted = base << shift;
+  // A shift that lost bits cannot round-trip back to base.
+  if ((shifted >> shift) != base) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return shifted;
+}
+
+}  // namespace flov

@@ -134,4 +134,76 @@ class TimeSeries {
 /// Formats a double with fixed precision (helper for table printers).
 std::string fmt(double v, int precision = 3);
 
+// --- binomial confidence intervals & sequential testing (certification) ---
+//
+// The reliability-certification harness (src/sim/certify) treats each
+// outcome — a packet delivered, a run surviving — as a Bernoulli trial and
+// turns Monte-Carlo counts into statistically certified bounds. Everything
+// here is closed-form or fixed-iteration numerics: no RNG, no platform-
+// dependent iteration counts, so a certificate computed from identical
+// counts is byte-identical everywhere the libm is.
+
+/// Standard normal quantile Phi^-1(p), p in (0, 1). Acklam's rational
+/// approximation refined with one Halley step (|error| < 1e-15 — far below
+/// anything a confidence bound can resolve).
+double normal_quantile(double p);
+
+/// Two-sided confidence interval on a binomial proportion.
+struct BinomialInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+  double half_width() const { return (upper - lower) / 2.0; }
+};
+
+/// Wilson score interval: the default certification bound. Behaves sanely
+/// at the extremes (successes == 0 or == trials) where the normal
+/// approximation collapses. trials == 0 yields the vacuous [0, 1].
+BinomialInterval wilson_interval(std::uint64_t successes,
+                                 std::uint64_t trials, double confidence);
+
+/// Clopper-Pearson ("exact") interval: conservative — guaranteed coverage
+/// at the cost of width. Computed from the regularized incomplete beta
+/// function inverted by fixed-count bisection. trials == 0 yields [0, 1].
+BinomialInterval clopper_pearson_interval(std::uint64_t successes,
+                                          std::uint64_t trials,
+                                          double confidence);
+
+/// Regularized incomplete beta function I_x(a, b) (continued-fraction
+/// evaluation); exposed for tests.
+double regularized_beta(double a, double b, double x);
+
+/// Wald sequential probability ratio test on a Bernoulli success rate:
+/// H1 "p >= p1" (certify) against H0 "p <= p0" (refute), p0 < p1 with an
+/// indifference region between. Error rates: alpha = P(accept H1 | H0),
+/// beta = P(accept H0 | H1).
+class SprtTest {
+ public:
+  SprtTest(double p0, double p1, double alpha, double beta);
+
+  enum class Decision {
+    kContinue = 0,  ///< keep sampling
+    kAcceptH1,      ///< certified: p >= p1 at the requested error rates
+    kAcceptH0,      ///< refuted: p <= p0 at the requested error rates
+  };
+
+  /// Log-likelihood ratio after `successes` of `trials`.
+  double llr(std::uint64_t successes, std::uint64_t trials) const;
+  Decision decide(std::uint64_t successes, std::uint64_t trials) const;
+
+  double p0() const { return p0_; }
+  double p1() const { return p1_; }
+  /// Accept H1 once llr >= this (ln((1-beta)/alpha)).
+  double accept_threshold() const { return accept_; }
+  /// Accept H0 once llr <= this (ln(beta/(1-alpha))).
+  double reject_threshold() const { return reject_; }
+
+ private:
+  double p0_;
+  double p1_;
+  double log_success_;  ///< ln(p1/p0)
+  double log_failure_;  ///< ln((1-p1)/(1-p0))
+  double accept_;
+  double reject_;
+};
+
 }  // namespace flov

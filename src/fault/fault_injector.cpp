@@ -12,7 +12,9 @@ FaultInjector::FaultInjector(const FaultParams& params, int num_nodes)
       spurious_rng_(params.seed * 0x94D049BB133111EBull + 3),
       flit_drop_seed_(mix_u64(params.seed * 0xBF58476D1CE4E5B9ull + 2)),
       flit_delay_seed_(mix_u64(params.seed * 0xBF58476D1CE4E5B9ull + 4)),
-      hard_seed_(mix_u64(params.seed * 0x2545F4914F6CDD1Dull + 5)) {
+      hard_seed_(mix_u64(params.seed * 0x2545F4914F6CDD1Dull + 5)),
+      soft_flit_seed_(mix_u64(params.seed * 0xD6E8FEB86659FD93ull + 6)),
+      soft_psr_seed_(mix_u64(params.seed * 0xA24BAED4963EE407ull + 7)) {
   FLOV_CHECK(num_nodes_ > 0, "fault injector needs a non-empty mesh");
   FLOV_CHECK(params_.signal_delay_max >= 1 && params_.flit_delay_max >= 1,
              "fault delay maxima must be >= 1 cycle");
@@ -133,6 +135,67 @@ std::optional<Cycle> FaultInjector::flit_fate(const Flit& f,
     }
   }
   return Cycle{0};
+}
+
+std::uint64_t FaultInjector::payload_flip_mask(const Flit& f,
+                                               std::uint32_t link_key) {
+  if (params_.soft_flit_flip_rate <= 0.0) return 0;
+  // Keyed per (packet, flit, link): a retransmitted copy has a fresh
+  // packet_id, so it re-rolls — exactly what a wire-noise model should do.
+  const std::uint64_t h =
+      hash_mix(hash_mix(hash_mix(soft_flit_seed_, f.packet_id),
+                        static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(f.flit_index))),
+               link_key);
+  if (!hash_bool(h, params_.soft_flit_flip_rate)) return 0;
+  counters_.payload_flips.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(corrupted_packets_mu_);
+    corrupted_packets_.insert(f.packet_id);
+  }
+  return 1ull << (mix_u64(h) & 63);
+}
+
+bool FaultInjector::corrupt_signal(HsMessage& msg, Cycle now) {
+  if (params_.soft_psr_flip_rate <= 0.0) return false;
+  // Only the PSR-carrying fields are corruptible; framing is sacred.
+  NodeId* field = nullptr;
+  switch (msg.type) {
+    case HsType::kSleepNotify: field = &msg.logical_beyond; break;
+    case HsType::kWakeupTrigger: field = &msg.target; break;
+    default: return false;
+  }
+  // Keyed per hop: the same message forwarded across the mesh rolls a
+  // fresh fate at every hop (`now` advances one cycle per hop), like the
+  // physical wire segments it models.
+  const std::uint64_t h = hash_mix(
+      hash_mix(hash_mix(hash_mix(soft_psr_seed_,
+                                 static_cast<std::uint64_t>(msg.from)),
+                        static_cast<std::uint64_t>(msg.type)),
+               hash_mix(static_cast<std::uint64_t>(msg.target),
+                        static_cast<std::uint64_t>(msg.logical_beyond))),
+      hash_mix(static_cast<std::uint64_t>(msg.epoch),
+               static_cast<std::uint64_t>(now)));
+  if (!hash_bool(h, params_.soft_psr_flip_rate)) return false;
+  // Rewrite to a uniformly chosen DIFFERENT value from the node-id domain
+  // plus kInvalidNode (a flip can turn a valid id into garbage the
+  // receiver treats as "none").
+  const std::uint64_t domain = static_cast<std::uint64_t>(num_nodes_) + 1;
+  const NodeId original = *field;
+  std::uint64_t pick = mix_u64(h) % domain;
+  NodeId corrupted =
+      pick == static_cast<std::uint64_t>(num_nodes_)
+          ? kInvalidNode
+          : static_cast<NodeId>(pick);
+  if (corrupted == original) {
+    pick = (pick + 1) % domain;
+    corrupted = pick == static_cast<std::uint64_t>(num_nodes_)
+                    ? kInvalidNode
+                    : static_cast<NodeId>(pick);
+  }
+  *field = corrupted;
+  counters_.psr_flips++;
+  return true;
 }
 
 NodeId FaultInjector::spurious_wakeup_target(Cycle now) {

@@ -37,6 +37,11 @@ class FaultInjector {
     /// Subset of flits_dropped destroyed by hard faults (dead links on the
     /// wire + flits consumed by dead routers / dead NI queues).
     std::atomic<std::uint64_t> hard_killed{0};
+    /// Soft errors: payload bit flips happen inside channel fault hooks
+    /// (domain workers → atomic); PSR flips happen on the serial
+    /// control-plane signal fabric (plain counter, like signals_*).
+    std::atomic<std::uint64_t> payload_flips{0};
+    std::uint64_t psr_flips = 0;
   };
 
   FaultInjector(const FaultParams& params, int num_nodes);
@@ -62,6 +67,28 @@ class FaultInjector {
 
   /// Spurious wakeup roll for this cycle; kInvalidNode when none fires.
   NodeId spurious_wakeup_target(Cycle now);
+
+  // --- soft errors (seeded bit flips) ---
+  /// Payload-corruption fate for one traversal of `link_key`: 0 = clean,
+  /// otherwise a single-bit XOR mask for the flit's payload word. Stateless
+  /// hash of (seed, packet, flit, link) — safe from domain workers, like
+  /// flit_fate. A non-zero return has already recorded the packet as
+  /// corrupted and bumped the counter; the caller just applies the mask.
+  std::uint64_t payload_flip_mask(const Flit& f, std::uint32_t link_key);
+
+  /// PSR-corruption fate for one signal hop: rewrites msg.logical_beyond
+  /// (kSleepNotify) or msg.target (kWakeupTrigger) to a different node id —
+  /// possibly kInvalidNode — and returns true. Other message types never
+  /// corrupt (they carry no PSR payload). Serial control-plane callers only.
+  bool corrupt_signal(HsMessage& msg, Cycle now);
+
+  /// Packets whose payload took at least one bit flip in transit: they
+  /// deliver, but deliver corrupted (the certify harness's clean-delivery
+  /// metric subtracts them). Serial control-plane callers only — runs
+  /// between step barriers, which publish the workers' inserts.
+  bool packet_corrupted(std::uint64_t packet_id) const {
+    return corrupted_packets_.count(packet_id) != 0;
+  }
 
   // --- hard-fault fates (pure hashes: thread-schedule-independent) ---
   /// True when hard faults are armed and router `id` is fated to die at
@@ -96,11 +123,17 @@ class FaultInjector {
   std::uint64_t flit_drop_seed_;
   std::uint64_t flit_delay_seed_;
   std::uint64_t hard_seed_;
+  std::uint64_t soft_flit_seed_;
+  std::uint64_t soft_psr_seed_;
   Counters counters_;
   /// Guards dropped_packets_ against concurrent inserts from domain
   /// workers (head-drop bookkeeping only — never on the fault-free path).
   std::mutex dropped_packets_mu_;
   std::unordered_set<std::uint64_t> dropped_packets_;
+  /// Guards corrupted_packets_ against concurrent inserts from domain
+  /// workers (payload flips only — never on the fault-free path).
+  std::mutex corrupted_packets_mu_;
+  std::unordered_set<std::uint64_t> corrupted_packets_;
   /// Worm-coherence grace for dying links: (packet, link) pairs whose HEAD
   /// crossed the link before hard_at_cycle. Their body/tail flits pass even
   /// after the death cycle — eating them mid-worm would leave a tail-less

@@ -34,6 +34,24 @@ struct FaultParams {
   /// Per-cycle probability of a spurious WakeupTrigger at a random router.
   double spurious_wakeup_rate = 0.0;
 
+  // --- soft errors (seeded bit flips; certification fault axis) ---
+  /// Per-link-traversal probability that one bit of the flit's payload
+  /// word flips in transit. Routing/protocol metadata is never touched —
+  /// the payload is opaque to the NoC, so a flip is a pure data-integrity
+  /// fault: the packet still delivers, but delivers CORRUPTED (tracked per
+  /// packet; see RunResult::packets_corrupted and the certify harness's
+  /// clean-delivery metric). Fates are stateless hashes of
+  /// (seed, packet, flit, link): thread-schedule-independent.
+  double soft_flit_flip_rate = 0.0;
+  /// Per-signal-hop probability that the PSR-carrying field of a handshake
+  /// message is corrupted in transit: kSleepNotify's logical_beyond or
+  /// kWakeupTrigger's target is rewritten to a different (valid or
+  /// invalid) node id. Protocol framing (type/epoch/travel) is never
+  /// corrupted — that would model a broken router, not a noisy wire. The
+  /// control plane's recovery layers (sleep re-announce, stale-block
+  /// expiry, trigger retry) are what certification exercises here.
+  double soft_psr_flip_rate = 0.0;
+
   // --- permanent (hard) faults ---
   /// At cycle `hard_at_cycle` a seeded subset of routers/links dies and
   /// stays dead for the rest of the run. Fates are pure hashes of
@@ -51,11 +69,15 @@ struct FaultParams {
     return hard_at_cycle > 0 && (hard_router_pct > 0.0 || hard_link_pct > 0.0);
   }
 
+  bool soft_errors_armed() const {
+    return soft_flit_flip_rate > 0.0 || soft_psr_flip_rate > 0.0;
+  }
+
   bool any() const {
     return signal_drop_rate > 0.0 || signal_delay_rate > 0.0 ||
            signal_dup_rate > 0.0 || flit_drop_rate > 0.0 ||
            flit_delay_rate > 0.0 || spurious_wakeup_rate > 0.0 ||
-           hard_faults_armed();
+           soft_errors_armed() || hard_faults_armed();
   }
 
   static FaultParams from_config(const Config& cfg) {
@@ -75,6 +97,10 @@ struct FaultParams {
     p.flit_delay_max = cfg.get_int("fault.flit_delay_max", p.flit_delay_max);
     p.spurious_wakeup_rate =
         cfg.get_double("fault.spurious_wakeup_rate", p.spurious_wakeup_rate);
+    p.soft_flit_flip_rate =
+        cfg.get_double("fault.soft_flit_flip_rate", p.soft_flit_flip_rate);
+    p.soft_psr_flip_rate =
+        cfg.get_double("fault.soft_psr_flip_rate", p.soft_psr_flip_rate);
     p.hard_router_pct =
         cfg.get_double("fault.hard_router_pct", p.hard_router_pct);
     p.hard_link_pct = cfg.get_double("fault.hard_link_pct", p.hard_link_pct);
@@ -96,6 +122,8 @@ struct FaultParams {
     cfg.set("fault.flit_delay_rate", flit_delay_rate);
     cfg.set("fault.flit_delay_max", static_cast<long long>(flit_delay_max));
     cfg.set("fault.spurious_wakeup_rate", spurious_wakeup_rate);
+    cfg.set("fault.soft_flit_flip_rate", soft_flit_flip_rate);
+    cfg.set("fault.soft_psr_flip_rate", soft_psr_flip_rate);
     cfg.set("fault.hard_router_pct", hard_router_pct);
     cfg.set("fault.hard_link_pct", hard_link_pct);
     cfg.set("fault.hard_at_cycle", static_cast<long long>(hard_at_cycle));

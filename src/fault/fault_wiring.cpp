@@ -19,8 +19,7 @@ void arm_link_faults(Network& net, FaultInjector& fault) {
       // buffer never sees the flit, and a dead link that leaked a credit
       // per kill would wedge its output VC permanently.
       ch->set_fault_hook([f = &fault, n = &net, id, d, link_key](
-                             Cycle now,
-                             const Flit& flit) -> std::optional<Cycle> {
+                             Cycle now, Flit& flit) -> std::optional<Cycle> {
         const std::optional<Cycle> fate = f->flit_fate(flit, link_key, now);
         if (!fate.has_value()) {
           n->note_flit_dropped(id);
@@ -28,7 +27,18 @@ void arm_link_faults(Network& net, FaultInjector& fault) {
           FLOV_TRACE(telemetry::kTraceFault,
                      telemetry::TraceEventType::kFaultFlitDrop, now, id,
                      flit.packet_id, flit.flit_index);
-        } else if (*fate > 0) {
+          return fate;
+        }
+        // Survivors can still take a soft error: one payload bit flips in
+        // transit. Routing metadata is untouched — the flit delivers, the
+        // packet is just marked corrupted.
+        if (const std::uint64_t flip = f->payload_flip_mask(flit, link_key)) {
+          flit.payload ^= flip;
+          FLOV_TRACE(telemetry::kTraceFault,
+                     telemetry::TraceEventType::kFaultPayloadFlip, now, id,
+                     flit.packet_id, flit.flit_index);
+        }
+        if (*fate > 0) {
           FLOV_TRACE(telemetry::kTraceFault,
                      telemetry::TraceEventType::kFaultFlitDelay, now, id,
                      flit.packet_id, *fate);

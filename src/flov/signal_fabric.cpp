@@ -30,18 +30,31 @@ void SignalFabric::enqueue_hop(Cycle now, NodeId next, const HsMessage& msg) {
                  static_cast<std::uint64_t>(msg.type), msg.target);
       return;
     }
+    // Soft error on this wire segment: the PSR payload that arrives is not
+    // the one that was sent. The hop still delivers (drop is a separate
+    // fault class); duplicates carry the same corrupted copy — they model
+    // one glitched transmission echoing, not two independent sends.
+    HsMessage hop = msg;
+    if (fault_->corrupt_signal(hop, now)) {
+      FLOV_TRACE(telemetry::kTraceFault,
+                 telemetry::TraceEventType::kFaultPsrFlip, now, hop.from,
+                 static_cast<std::uint64_t>(hop.type),
+                 hop.type == HsType::kWakeupTrigger
+                     ? static_cast<std::uint64_t>(hop.target)
+                     : static_cast<std::uint64_t>(hop.logical_beyond));
+    }
     const Cycle delay = fault_->signal_extra_delay();
     if (delay > 0) {
       FLOV_TRACE(telemetry::kTraceFault,
-                 telemetry::TraceEventType::kFaultSignalDelay, now, msg.from,
-                 delay, static_cast<std::uint64_t>(msg.type));
+                 telemetry::TraceEventType::kFaultSignalDelay, now, hop.from,
+                 delay, static_cast<std::uint64_t>(hop.type));
     }
-    queue_.push_back(InFlight{now + 1 + delay, next, msg});
-    if (fault_->duplicate_signal(msg)) {
+    queue_.push_back(InFlight{now + 1 + delay, next, hop});
+    if (fault_->duplicate_signal(hop)) {
       FLOV_TRACE(telemetry::kTraceFault,
-                 telemetry::TraceEventType::kFaultSignalDup, now, msg.from,
-                 static_cast<std::uint64_t>(msg.type), msg.target);
-      queue_.push_back(InFlight{now + 1, next, msg});
+                 telemetry::TraceEventType::kFaultSignalDup, now, hop.from,
+                 static_cast<std::uint64_t>(hop.type), hop.target);
+      queue_.push_back(InFlight{now + 1, next, hop});
     }
     return;
   }

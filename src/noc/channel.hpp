@@ -34,9 +34,11 @@ class Channel {
 
   /// Fault hook (fault-injection subsystem): consulted once per send with
   /// the send cycle; returns the extra delivery delay, or nullopt to drop
-  /// the item on the wire. Unset on fault-free channels, keeping send()
-  /// hook-free and cheap.
-  using FaultHook = std::function<std::optional<Cycle>(Cycle, const T&)>;
+  /// the item on the wire. The item is mutable so soft-error models can
+  /// flip payload bits in transit (the channel has already taken its copy —
+  /// the sender's original is untouched). Unset on fault-free channels,
+  /// keeping send() hook-free and cheap.
+  using FaultHook = std::function<std::optional<Cycle>(Cycle, T&)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Active-set hook: every send re-arms the receiving component's liveness

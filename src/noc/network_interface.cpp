@@ -1,5 +1,6 @@
 #include "noc/network_interface.hpp"
 
+#include "common/backoff.hpp"
 #include "common/log.hpp"
 #include "telemetry/trace.hpp"
 
@@ -357,8 +358,8 @@ void NetworkInterface::inject(Cycle now) {
           } else {
             TxEntry& e = tx->second;
             e.in_flight = false;
-            const int shift = std::min(e.retries, params_.retx_backoff_cap);
-            e.deadline = now + (params_.retx_timeout << shift);
+            e.deadline = now + backoff_shift(params_.retx_timeout, e.retries,
+                                             params_.retx_backoff_cap);
           }
         }
       }

@@ -88,6 +88,8 @@ std::uint64_t sweep_point_fingerprint(const SyntheticExperimentConfig& cfg) {
   h = mix_d(h, f.flit_delay_rate);
   h = hash_mix(h, f.flit_delay_max);
   h = mix_d(h, f.spurious_wakeup_rate);
+  h = mix_d(h, f.soft_flit_flip_rate);
+  h = mix_d(h, f.soft_psr_flip_rate);
   h = mix_d(h, f.hard_router_pct);
   h = mix_d(h, f.hard_link_pct);
   h = hash_mix(h, f.hard_at_cycle);
@@ -361,6 +363,9 @@ std::string encode_sweep_checkpoint_line(int index,
   w.kv("killed_at_source", r.killed_at_source);
   w.kv("retransmits", r.retransmits);
   w.kv("dup_packets", r.dup_packets);
+  w.kv("packets_corrupted", r.packets_corrupted);
+  w.kv("payload_flips", r.payload_flips);
+  w.kv("psr_flips", r.psr_flips);
   w.kv("dead_routers", r.dead_routers);
   w.kv("dead_links", r.dead_links);
   w.kv("wake_requests_dropped", r.wake_requests_dropped);
@@ -421,6 +426,7 @@ bool decode_sweep_checkpoint_line(const std::string& line, int* index,
       "hs_resends", "trigger_resends", "self_captures",
       "flits_dropped_by_faults", "packets_acked", "packets_dead",
       "packets_purged", "killed_at_source", "retransmits", "dup_packets",
+      "packets_corrupted", "payload_flips", "psr_flips",
       "dead_routers", "dead_links", "wake_requests_dropped", "aborted",
       "cycles_run", "timeline", "metrics", "incidents"};
   for (const char* k : kRequired) {
@@ -464,6 +470,9 @@ bool decode_sweep_checkpoint_line(const std::string& line, int* index,
   r.killed_at_source = u64_of(res.at("killed_at_source"));
   r.retransmits = u64_of(res.at("retransmits"));
   r.dup_packets = u64_of(res.at("dup_packets"));
+  r.packets_corrupted = u64_of(res.at("packets_corrupted"));
+  r.payload_flips = u64_of(res.at("payload_flips"));
+  r.psr_flips = u64_of(res.at("psr_flips"));
   r.dead_routers = static_cast<int>(res.at("dead_routers").num);
   r.dead_links = static_cast<int>(res.at("dead_links").num);
   r.wake_requests_dropped = u64_of(res.at("wake_requests_dropped"));

@@ -219,11 +219,34 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
           : GatingScenario::epochs(net.geom(), cfg.gated_fraction,
                                    cfg.gating_changes, cfg.seed);
 
+  // The scheme's armed fault injector (null on a fault-free build): needed
+  // before the run loop so the ejection callback can ask about soft-error
+  // corruption per delivered packet.
+  const FaultInjector* fault = nullptr;
+  if (flov_sys) {
+    fault = flov_sys->fault_injector();
+  } else if (auto* p = dynamic_cast<const RpNetwork*>(&sys)) {
+    fault = p->fault_injector();
+  } else if (auto* b = dynamic_cast<const BaselineNetwork*>(&sys)) {
+    fault = b->fault_injector();
+  }
+
   LatencyStats stats(/*router_pipeline_cycles=*/3, cfg.timeline_window,
                      cfg.noc.latency_hist_max);
   stats.set_measure_from(cfg.warmup);
-  net.set_eject_callback(
-      [&stats](const PacketRecord& r) { stats.record(r); });
+  // Corruption probe mirrors LatencyStats' measurement filter (packets
+  // generated before warmup are ignored). Ejection callbacks run between
+  // step barriers, which publish the domain workers' corrupted-set inserts.
+  std::uint64_t packets_corrupted = 0;
+  const bool soft_armed = fault && cfg.faults.soft_errors_armed();
+  net.set_eject_callback([&stats, &packets_corrupted, fault, soft_armed,
+                          measure_from = cfg.warmup](const PacketRecord& r) {
+    stats.record(r);
+    if (soft_armed && r.gen_cycle >= measure_from &&
+        fault->packet_corrupted(r.packet_id)) {
+      packets_corrupted++;
+    }
+  });
 
   std::unique_ptr<InvariantVerifier> verifier;
   if (cfg.verify) {
@@ -355,7 +378,6 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   r.ejected_flits = net.total_ejected_flits();
   r.escape_packets = stats.escape_packets();
   r.watchdog_recoveries = recoveries;
-  const FaultInjector* fault = nullptr;
   if (FlovNetwork* f = flov_sys) {
     r.gated_routers_end = f->gated_router_count();
     const auto ps = f->protocol_stats(end_cycle);
@@ -365,7 +387,6 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     r.hs_resends = ps.hs_resends;
     r.trigger_resends = ps.trigger_resends;
     r.self_captures = ps.self_captures;
-    fault = f->fault_injector();
     r.dead_routers = f->dead_router_count();
     r.dead_links = f->dead_link_count();
     r.wake_requests_dropped = f->wake_requests_dropped();
@@ -376,7 +397,6 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   } else if (auto* p = dynamic_cast<RpNetwork*>(&sys)) {
     r.gated_routers_end = p->parked_router_count();
     r.avg_gated_routers = r.gated_routers_end;
-    fault = p->fault_injector();
     r.dead_routers = p->dead_router_count();
     r.dead_links = p->dead_link_count();
     if (r.dead_routers > 0 || r.dead_links > 0) {
@@ -384,7 +404,6 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
                                 *incidents);
     }
   } else if (auto* b = dynamic_cast<BaselineNetwork*>(&sys)) {
-    fault = b->fault_injector();
     r.dead_routers = b->dead_router_count();
     r.dead_links = b->dead_link_count();
     if (r.dead_routers > 0 || r.dead_links > 0) {
@@ -392,7 +411,12 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
                                 *incidents);
     }
   }
-  if (fault) r.flits_dropped_by_faults = fault->counters().flits_dropped;
+  if (fault) {
+    r.flits_dropped_by_faults = fault->counters().flits_dropped;
+    r.payload_flips = fault->counters().payload_flips;
+    r.psr_flips = fault->counters().psr_flips;
+  }
+  r.packets_corrupted = packets_corrupted;
   if (cfg.noc.reliable) {
     for (NodeId id = 0; id < net.num_nodes(); ++id) {
       const NetworkInterface& ni = net.ni(id);
@@ -436,6 +460,11 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     metrics->counter("run.killed_at_source") += r.killed_at_source;
     metrics->counter("run.retransmits") += r.retransmits;
     metrics->counter("run.dup_packets") += r.dup_packets;
+  }
+  if (soft_armed) {
+    metrics->counter("fault.payload_flips") += r.payload_flips;
+    metrics->counter("fault.psr_flips") += r.psr_flips;
+    metrics->counter("run.packets_corrupted") += r.packets_corrupted;
   }
   if (verifier) {
     metrics->counter("verify.violations") += verifier->violations();

@@ -94,6 +94,13 @@ struct RunResult {
   std::uint64_t killed_at_source = 0;  ///< queued at an NI when it died
   std::uint64_t retransmits = 0;
   std::uint64_t dup_packets = 0;       ///< duplicate deliveries suppressed
+  // --- soft errors ---
+  /// Measured packets DELIVERED with a flipped payload bit (subset of
+  /// packets_measured; the certify harness's clean-delivery metric
+  /// subtracts these from the delivered count).
+  std::uint64_t packets_corrupted = 0;
+  std::uint64_t payload_flips = 0;     ///< payload bit flips on the wire
+  std::uint64_t psr_flips = 0;         ///< corrupted handshake payloads
   // --- hard faults ---
   int dead_routers = 0;
   int dead_links = 0;                  ///< dead directed links

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/backoff.hpp"
 #include "common/log.hpp"
 #include "sim/checkpoint.hpp"
 
@@ -94,8 +95,9 @@ std::vector<RunResult> run_sweep(
   std::FILE* ck = nullptr;
   std::mutex ck_mu;
   if (!opts.checkpoint_path.empty()) {
-    ck = std::fopen(opts.checkpoint_path.c_str(),
-                    opts.resume && restored > 0 ? "ab" : "wb");
+    ck = std::fopen(
+        opts.checkpoint_path.c_str(),
+        opts.checkpoint_append || (opts.resume && restored > 0) ? "ab" : "wb");
     FLOV_CHECK(ck != nullptr,
                "cannot open sweep checkpoint " + opts.checkpoint_path);
   }
@@ -120,9 +122,9 @@ std::vector<RunResult> run_sweep(
       } catch (const std::exception&) {
         if (attempt >= opts.retries) throw;
         if (opts.retry_backoff_ms > 0) {
-          const int shift = std::min(attempt, 10);
           std::this_thread::sleep_for(std::chrono::milliseconds(
-              static_cast<long long>(opts.retry_backoff_ms) << shift));
+              backoff_shift(static_cast<std::uint64_t>(opts.retry_backoff_ms),
+                            attempt, 10)));
         }
       }
     }

@@ -42,6 +42,14 @@ struct SweepOptions {
   /// merged metrics of a resumed sweep are byte-identical to an
   /// uninterrupted one.
   bool resume = false;
+  /// Always open the checkpoint file in append mode, even when resume
+  /// restored nothing. Callers that share one checkpoint file across
+  /// several run_sweep invocations over DIFFERENT point slices (the
+  /// certification harness's sequential batches) need this: the default
+  /// truncates when no line matched, which would erase the other batches'
+  /// lines. Fingerprints keep foreign lines harmless — they simply don't
+  /// match and are skipped.
+  bool checkpoint_append = false;
 };
 
 /// `jobs` resolved against the machine: 0 -> hardware_concurrency (>= 1).

@@ -115,4 +115,45 @@ void SweepManifest::write(const std::string& path) const {
   write_to_file(path, to_json());
 }
 
+std::string CertificateManifest::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", schema);
+  w.kv("name", name);
+  w.kv("git_describe", build_git_describe());
+  w.key("config");
+  write_config(w, config);
+  w.kv("config_fingerprint", config_fingerprint);
+  w.kv("seed_base", seed_base);
+  w.kv("replications", replications);
+  w.kv("max_replications", max_replications);
+  w.kv("confidence", confidence);
+  w.kv("target_metric", target_metric);
+  w.kv("target", target);
+  w.kv("stop_reason", stop_reason);
+  w.kv("jobs", static_cast<std::int64_t>(jobs));
+  w.kv("wall_seconds", wall_seconds);
+  w.key("metrics");
+  w.begin_array();
+  for (const CertifiedMetric& m : metrics) {
+    w.begin_object();
+    w.kv("name", m.name);
+    w.kv("successes", m.successes);
+    w.kv("trials", m.trials);
+    w.kv("point", m.point);
+    w.kv("wilson_lower", m.wilson_lower);
+    w.kv("wilson_upper", m.wilson_upper);
+    w.kv("clopper_pearson_lower", m.clopper_pearson_lower);
+    w.kv("clopper_pearson_upper", m.clopper_pearson_upper);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void CertificateManifest::write(const std::string& path) const {
+  write_to_file(path, to_json());
+}
+
 }  // namespace flov::telemetry

@@ -66,4 +66,47 @@ struct SweepManifest {
   void write(const std::string& path) const;
 };
 
+/// One certified metric inside a CertificateManifest: the Bernoulli counts
+/// it was estimated from plus both interval families (Wilson for the
+/// regression gate, Clopper-Pearson for the conservative claim).
+struct CertifiedMetric {
+  std::string name;
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+  double point = 0.0;
+  double wilson_lower = 0.0;
+  double wilson_upper = 1.0;
+  double clopper_pearson_lower = 0.0;
+  double clopper_pearson_upper = 1.0;
+};
+
+/// Certification campaign output (schema flyover-certificate-v1): the
+/// statistically certified reliability claim produced by src/sim/certify.
+/// Deterministic by construction — every non-volatile field is a pure
+/// function of (config, seed_base, stopping parameters), so two campaigns
+/// over the same inputs emit byte-identical certificates regardless of
+/// jobs= or kill-and-resume (validate_telemetry.py --diff-manifests strips
+/// exactly jobs/wall_seconds before comparing).
+struct CertificateManifest {
+  std::string schema = "flyover-certificate-v1";
+  std::string name;
+  Config config;  ///< fully resolved base config (fault knobs echoed)
+  /// hex16 sweep-point fingerprint of the base config at seed_base (the
+  /// same fingerprint family the sweep checkpoints key on).
+  std::string config_fingerprint;
+  std::uint64_t seed_base = 0;
+  std::uint64_t replications = 0;      ///< folded into the estimators
+  std::uint64_t max_replications = 0;  ///< the campaign's hard cap
+  double confidence = 0.0;
+  std::string target_metric;
+  double target = 0.0;  ///< SPRT reliability target (0 = none armed)
+  std::string stop_reason;
+  int jobs = 0;               ///< volatile
+  double wall_seconds = 0.0;  ///< volatile
+  std::vector<CertifiedMetric> metrics;
+
+  std::string to_json() const;
+  void write(const std::string& path) const;
+};
+
 }  // namespace flov::telemetry

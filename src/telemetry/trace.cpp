@@ -48,6 +48,8 @@ const EventMeta kEventMeta[kNumTypes] = {
     {"fault_flit_drop", kTraceFault, "packet_id", "unused"},
     {"fault_flit_delay", kTraceFault, "packet_id", "delay"},
     {"fault_spurious_wake", kTraceFault, "target", "unused"},
+    {"fault_payload_flip", kTraceFault, "packet_id", "flit_index"},
+    {"fault_psr_flip", kTraceFault, "type", "corrupted_value"},
     {"verify_violation", kTraceVerify, "check", "unused"},
 };
 

@@ -75,6 +75,8 @@ enum class TraceEventType : std::uint8_t {
   kFaultFlitDrop,
   kFaultFlitDelay,
   kFaultSpuriousWake,
+  kFaultPayloadFlip,
+  kFaultPsrFlip,
   // kTraceVerify
   kVerifyViolation,
   kNumTraceEventTypes
