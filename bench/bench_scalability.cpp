@@ -62,29 +62,47 @@ int main(int argc, char** argv) {
   cfg.parse_args(argc, argv);
   const Cycle total = cfg.get_int("measure", 30000) + 10000;
   // threads= : per-run domain workers (noc.step_threads) for every cell.
+  // tiles=TXxTY : explicit tile-domain grid (default: auto row bands).
   // Results are bit-identical at any value; only wall time changes.
   const int threads = static_cast<int>(cfg.get_int("threads", 1));
+  const std::string tiles = cfg.get_string("tiles", "");
   // Budget the cell pool against the intra-run workers so the bench does
   // not oversubscribe (jobs x threads ~ core count).
   const int jobs = resolve_jobs(static_cast<int>(cfg.get_int("jobs", 0)),
                                 threads);
   ManifestSink sink(argc, argv, "bench_scalability");
 
+  // sizes= : comma list of mesh edge lengths. The 32/64 rows are the
+  // "interactive large mesh" cells the SoA hot path + tile domains target;
+  // trim the list (sizes=4,8,12,16) for a quick look.
+  std::vector<int> sizes;
+  {
+    const std::string s = cfg.get_string("sizes", "4,8,12,16,32,64");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      sizes.push_back(std::stoi(s.substr(pos, comma - pos)));
+      pos = comma + 1;
+    }
+  }
+  const int nsizes = static_cast<int>(sizes.size());
+
   // One pooled task per (mesh size, system) cell; each builds and drives
   // its own network end to end.
-  const int sizes[] = {4, 8, 12, 16};
   struct Row {
     Result rp, gf;
     Cycle rp_reconfig = 0;
     double rp_wall = 0.0, gf_wall = 0.0;
   };
-  std::vector<Row> rows(4);
-  parallel_run(8, jobs, [&](int i) {
+  std::vector<Row> rows(sizes.size());
+  parallel_run(2 * nsizes, jobs, [&](int i) {
     const int k = sizes[i / 2];
     NocParams p;
     p.width = k;
     p.height = k;
     p.step_threads = threads;
+    p.apply_tiles_shorthand(tiles);
     const auto start = std::chrono::steady_clock::now();
     if (i % 2 == 0) {
       // RP: Phase-I grows with the router count (route computation at the
@@ -111,12 +129,13 @@ int main(int argc, char** argv) {
   print_header(
       "Scalability — one gating change mid-run, distributed gFLOV vs "
       "centralized RP");
-  std::printf("(step threads per run: %d)\n", threads);
+  std::printf("(step threads per run: %d, tiles: %s)\n", threads,
+              tiles.empty() ? "auto" : tiles.c_str());
   std::printf("%-8s | %12s %12s %14s %9s | %12s %12s %9s\n", "mesh",
               "RP latency", "RP peak", "RP reconfig", "RP wall", "gFLOV lat",
               "gFLOV peak", "gF wall");
 
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < nsizes; ++i) {
     const int k = sizes[i];
     std::printf("%-8s | %12.2f %12.2f %14llu %8.2fs | %12.2f %12.2f %8.2fs\n",
                 (std::to_string(k) + "x" + std::to_string(k)).c_str(),
@@ -134,12 +153,13 @@ int main(int argc, char** argv) {
     // this artifact records performance, it is not a determinism gate).
     std::vector<SyntheticExperimentConfig> points;
     std::vector<RunResult> results;
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < nsizes; ++i) {
       for (int s = 0; s < 2; ++s) {
         SyntheticExperimentConfig ex;
         ex.noc.width = sizes[i];
         ex.noc.height = sizes[i];
         ex.noc.step_threads = threads;
+        ex.noc.apply_tiles_shorthand(tiles);
         ex.pattern = "uniform";
         ex.inj_rate_flits = 0.02;
         ex.seed = 11;
@@ -152,6 +172,8 @@ int main(int argc, char** argv) {
         r.metrics->gauge("bench.avg_latency") = res.avg_latency;
         r.metrics->gauge("bench.peak_window") = res.peak_window;
         r.metrics->gauge("bench.step_threads") = threads;
+        r.metrics->gauge("bench.step_tiles_x") = ex.noc.step_tiles_x;
+        r.metrics->gauge("bench.step_tiles_y") = ex.noc.step_tiles_y;
         r.metrics->gauge("bench.wall_seconds") =
             s == 0 ? rows[i].rp_wall : rows[i].gf_wall;
         if (s == 0) {

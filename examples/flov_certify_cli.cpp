@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   if (!cfg.has("noc.reliable")) base.noc.reliable = true;
   base.noc.step_threads =
       static_cast<int>(cfg.get_int("threads", base.noc.step_threads));
+  base.noc.apply_tiles_shorthand(cfg.get_string("tiles", ""));
   if (cfg.has("k")) {
     base.noc.width = static_cast<int>(cfg.get_int("k"));
     base.noc.height = base.noc.width;

@@ -31,6 +31,9 @@ void print_usage() {
       "  seed=<n>  timeline=<window>  changes=<c1,c2,...>\n"
       "  threads=<n>                      intra-run domain workers "
       "(volatile)\n"
+      "  tiles=<TX>x<TY>                  explicit tile-domain grid, e.g.\n"
+      "                                   tiles=2x4 (volatile; default "
+      "auto)\n"
       "\n"
       "Simulation bounds (PROTOCOL.md \xc2\xa7" "8):\n"
       "  drain=<cycles>             post-run drain budget: keep stepping\n"
@@ -90,10 +93,12 @@ int main(int argc, char** argv) {
 
   SyntheticExperimentConfig ex;
   ex.noc = NocParams::from_config(cfg);
-  // threads= is shorthand for noc.step_threads= (intra-run domain workers;
+  // threads= is shorthand for noc.step_threads=, tiles=TXxTY for
+  // noc.step_tiles_x/y= (intra-run domain workers / explicit tile grid;
   // bit-identical results at any value — see docs/PERFORMANCE.md).
   ex.noc.step_threads =
       static_cast<int>(cfg.get_int("threads", ex.noc.step_threads));
+  ex.noc.apply_tiles_shorthand(cfg.get_string("tiles", ""));
   ex.energy = EnergyParams::from_config(cfg);
   ex.scheme = scheme_from_string(cfg.get_string("scheme", "gflov"));
   ex.pattern = cfg.get_string("pattern", "uniform");

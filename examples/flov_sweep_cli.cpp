@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   base.noc = NocParams::from_config(cfg);
   base.noc.step_threads =
       static_cast<int>(cfg.get_int("threads", base.noc.step_threads));
+  base.noc.apply_tiles_shorthand(cfg.get_string("tiles", ""));
   base.energy = EnergyParams::from_config(cfg);
   base.warmup = cfg.get_int("warmup", 10000);
   base.measure = cfg.get_int("cycles", 40000);

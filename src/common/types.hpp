@@ -26,4 +26,25 @@ inline constexpr NodeId kInvalidNode = -1;
 /// Sentinel cycle value meaning "never" / "unset".
 inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
+/// Non-owning view over `n` contiguous elements. The struct-of-arrays hot
+/// state (noc/hot_state.hpp) stores every router's per-VC records in one
+/// mesh-wide slab; ports hold a Span into their slice so call sites keep
+/// the familiar `port.vcs[v]` / range-for shape while the storage itself
+/// stays linear in router id. Shallow-const like a pointer: a const Span
+/// still yields mutable elements.
+template <typename T>
+struct Span {
+  T* ptr = nullptr;
+  std::int32_t count = 0;
+
+  Span() = default;
+  Span(T* p, std::int32_t n) : ptr(p), count(n) {}
+
+  T& operator[](std::int32_t i) const { return ptr[i]; }
+  T* begin() const { return ptr; }
+  T* end() const { return ptr + count; }
+  std::int32_t size() const { return count; }
+  bool empty() const { return count == 0; }
+};
+
 }  // namespace flov

@@ -16,36 +16,65 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
+#include <new>
 
 namespace flov {
 
+/// Destructive-interference granularity used to keep per-domain shards
+/// (counter cells, staged wake lists, tracer rings) off each other's cache
+/// lines. A fixed 64 rather than std::hardware_destructive_interference_size:
+/// the library constant is an ABI-affecting compile-time guess that GCC
+/// warns about, and 64 is correct for every x86-64 / AArch64 target this
+/// runs on (on the few 128-byte-line parts, two shards per line is a perf
+/// wobble, not a correctness issue).
+inline constexpr std::size_t kCacheLine = 64;
+
 /// Per-component liveness flags. Marking is idempotent and cheap (one store)
 /// so producers call it unconditionally on every send.
+///
+/// Storage is cache-line aligned and padded to a line multiple: each
+/// per-domain staged WakeList owns whole lines, so two domains' stages (or
+/// a stage and an unrelated heap neighbor) never false-share during the
+/// parallel phase.
 class WakeList {
  public:
   void init(int n, bool live = true) {
-    live_.assign(static_cast<std::size_t>(n), live ? 1 : 0);
+    size_ = n;
+    const std::size_t bytes = round_up(static_cast<std::size_t>(n));
+    buf_.reset(bytes != 0
+                   ? new (std::align_val_t{kCacheLine}) std::uint8_t[bytes]
+                   : nullptr);
+    for (int i = 0; i < n; ++i) buf_[i] = live ? 1 : 0;
   }
-  void mark(int i) { live_[static_cast<std::size_t>(i)] = 1; }
-  void clear(int i) { live_[static_cast<std::size_t>(i)] = 0; }
-  bool live(int i) const { return live_[static_cast<std::size_t>(i)] != 0; }
-  int size() const { return static_cast<int>(live_.size()); }
+  void mark(int i) { buf_[static_cast<std::size_t>(i)] = 1; }
+  void clear(int i) { buf_[static_cast<std::size_t>(i)] = 0; }
+  bool live(int i) const { return buf_[static_cast<std::size_t>(i)] != 0; }
+  int size() const { return size_; }
 
   /// ORs every set flag into `dst` and clears this list. Used at the
   /// domain-parallel barrier to merge per-domain staged wake marks into the
   /// real liveness list (marks are idempotent, so merge order is free).
   void drain_into(WakeList& dst) {
-    for (std::size_t i = 0; i < live_.size(); ++i) {
-      if (live_[i]) {
-        dst.live_[i] = 1;
-        live_[i] = 0;
+    for (int i = 0; i < size_; ++i) {
+      if (buf_[i]) {
+        dst.buf_[i] = 1;
+        buf_[i] = 0;
       }
     }
   }
 
  private:
-  std::vector<std::uint8_t> live_;
+  static std::size_t round_up(std::size_t n) {
+    return (n + kCacheLine - 1) / kCacheLine * kCacheLine;
+  }
+  struct AlignedDelete {
+    void operator()(std::uint8_t* p) const {
+      ::operator delete[](p, std::align_val_t{kCacheLine});
+    }
+  };
+  std::unique_ptr<std::uint8_t[], AlignedDelete> buf_;
+  int size_ = 0;
 };
 
 /// Network-wide flit/packet aggregates, maintained by the NIs (and the
@@ -61,6 +90,14 @@ struct FabricCounters {
   std::uint64_t in_network() const {
     return injected_flits - ejected_flits - dropped_flits;
   }
+};
+
+/// One domain's FabricCounters cell, padded to its own cache line(s):
+/// adjacent domains' workers bump their counters every injection/ejection,
+/// and FabricCounters itself is 40 bytes — unpadded, two shards share a
+/// line and ping-pong it.
+struct alignas(kCacheLine) CounterShard {
+  FabricCounters c;
 };
 
 }  // namespace flov

@@ -3,6 +3,7 @@
 // VC and switch allocators.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/log.hpp"
@@ -32,6 +33,22 @@ class RoundRobinArbiter {
       }
     }
     return -1;
+  }
+
+  /// Bitmask variant for per-cycle call sites (switch allocation): bit i of
+  /// `requests` set means input i requests. Same grant order as the vector
+  /// overload — first set bit at or after the rotating pointer — without
+  /// materializing a request vector. Requires num_inputs <= 64.
+  int arbitrate(std::uint64_t requests) {
+    FLOV_DCHECK(num_inputs_ <= 64, "mask arbiter limited to 64 inputs");
+    if (requests == 0) return -1;
+    // Scan [pointer, N) then wrap to [0, pointer) — identical grant order
+    // to the vector overload.
+    const std::uint64_t at_or_after = requests >> pointer_;
+    const int i = at_or_after != 0 ? pointer_ + __builtin_ctzll(at_or_after)
+                                   : __builtin_ctzll(requests);
+    pointer_ = (i + 1) % num_inputs_;
+    return i;
   }
 
   void reset() { pointer_ = 0; }

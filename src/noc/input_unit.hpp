@@ -54,9 +54,11 @@ struct InputVc {
   }
 };
 
-/// One router input port: `depth`-deep buffers for every VC.
+/// One router input port: `depth`-deep buffers for every VC. The records
+/// live in the mesh-wide SoA slab (noc/hot_state.hpp); the port is a view
+/// over its slice.
 struct InputPort {
-  std::vector<InputVc> vcs;
+  Span<InputVc> vcs;
 
   bool all_empty() const {
     for (const auto& vc : vcs) {
@@ -69,9 +71,9 @@ struct InputPort {
   /// Fills a caller-provided scratch buffer — callers on per-cycle paths
   /// keep a reusable vector so this never allocates in steady state.
   void free_slots(int depth, std::vector<int>& out) const {
-    out.resize(vcs.size());
-    for (std::size_t v = 0; v < vcs.size(); ++v) {
-      out[v] = depth - vcs[v].occupancy();
+    out.resize(static_cast<std::size_t>(vcs.size()));
+    for (std::int32_t v = 0; v < vcs.size(); ++v) {
+      out[static_cast<std::size_t>(v)] = depth - vcs[v].occupancy();
     }
   }
 };

@@ -2,13 +2,19 @@
 // them. The Network is policy-free — power-gating schemes (flov/, rp/) wrap
 // it and drive router modes, neighborhood views, and injection stalls.
 //
-// With params.step_threads > 1 the mesh is statically partitioned into
-// contiguous row-band domains, each stepped by its own worker under a
-// per-cycle barrier. Because every channel has latency >= 1, a send made at
-// cycle t is only observable at t+1 (docs/PERFORMANCE.md, "The lookahead
-// invariant"), so cross-domain traffic can be staged sender-side and merged
-// at the barrier: the parallel schedule is bit-identical to serial by
-// construction, not by sampling.
+// Hot state lives in a struct-of-arrays slab (noc/hot_state.hpp) owned
+// here: routers, NIs and channels are stored by value in id-ordered
+// vectors, and the fields Router::step touches every cycle are contiguous
+// per-mesh arrays — a 64x64 sweep walks linear memory instead of chasing
+// 4096 heap objects.
+//
+// With params.step_threads > 1 (or an explicit step_tiles_x/y grid) the
+// mesh is statically partitioned into rectangular tile domains, each
+// stepped by its own worker under a per-cycle barrier. Because every
+// channel has latency >= 1, a send made at cycle t is only observable at
+// t+1 (docs/PERFORMANCE.md, "The lookahead invariant"), so cross-domain
+// traffic can be staged sender-side and merged at the barrier: the parallel
+// schedule is bit-identical to serial by construction, not by sampling.
 #pragma once
 
 #include <functional>
@@ -20,6 +26,7 @@
 #include "common/types.hpp"
 #include "noc/active_set.hpp"
 #include "noc/channel.hpp"
+#include "noc/hot_state.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/noc_params.hpp"
 #include "noc/router.hpp"
@@ -44,15 +51,17 @@ class Network {
   const NocParams& params() const { return params_; }
   const MeshGeometry& geom() const { return geom_; }
 
-  Router& router(NodeId id) { return *routers_[id]; }
-  const Router& router(NodeId id) const { return *routers_[id]; }
-  NetworkInterface& ni(NodeId id) { return *nis_[id]; }
-  const NetworkInterface& ni(NodeId id) const { return *nis_[id]; }
+  Router& router(NodeId id) { return routers_[id]; }
+  const Router& router(NodeId id) const { return routers_[id]; }
+  NetworkInterface& ni(NodeId id) { return nis_[id]; }
+  const NetworkInterface& ni(NodeId id) const { return nis_[id]; }
   int num_nodes() const { return geom_.num_nodes(); }
 
-  /// Row-band decomposition (1 domain == serial stepping).
+  /// Tile-domain decomposition (1 domain == serial stepping).
   int num_domains() const { return num_domains_; }
   int domain_of(NodeId id) const { return node_domain_[id]; }
+  int tiles_x() const { return tiles_x_; }
+  int tiles_y() const { return tiles_y_; }
 
   /// Advances the fabric by one cycle. Active-set scheduled: routers and
   /// NIs whose step would provably be a no-op (power-gated with empty
@@ -63,8 +72,9 @@ class Network {
   /// skipped VA ticks are replayed (Router::step), so results are
   /// bit-identical to stepping every component every cycle. With more than
   /// one domain, the domains run concurrently and the barrier then merges
-  /// staged cross-domain sends, wake marks and ejection records — in
-  /// domain (== node-id) order, preserving bit-identity.
+  /// staged cross-domain sends, wake marks and ejection records — ejections
+  /// via a k-way merge back into global node-id order, preserving
+  /// bit-identity for any tile grid.
   void step(Cycle now);
 
   /// Re-arm hooks for scheme layers (FLOV credit handovers, recovery
@@ -78,10 +88,10 @@ class Network {
   /// sending router's domain shard — fault hooks run on the sender's
   /// worker during the parallel phase.
   void note_flit_dropped(NodeId sender) {
-    counter_shards_[node_domain_[sender]].dropped_flits++;
+    counter_shards_[node_domain_[sender]].c.dropped_flits++;
   }
 
-  void enqueue(const PacketDescriptor& pkt) { nis_[pkt.src]->enqueue(pkt); }
+  void enqueue(const PacketDescriptor& pkt) { nis_[pkt.src].enqueue(pkt); }
 
   /// Installs THE primary ejection callback (replaces any previous one but
   /// keeps observers added with add_eject_callback). With multiple domains
@@ -135,6 +145,11 @@ class Network {
   }
 
  private:
+  /// One rectangular tile domain: columns [x0, x1) x rows [y0, y1).
+  struct DomainRect {
+    int x0, x1, y0, y1;
+  };
+
   /// Steps domain `dom`'s routers then NIs, in node-id order.
   void step_domain(int dom, Cycle now);
   /// Barrier-side merges: staged channel sends, wake marks, ejections.
@@ -143,10 +158,16 @@ class Network {
   NocParams params_;
   MeshGeometry geom_;
 
-  std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
-  std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
-  std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  /// Struct-of-arrays hot state. Sized before any component is constructed
+  /// and never resized afterwards (routers/NIs hold pointers into it).
+  MeshHotState hot_;
+
+  /// Channels by value, exact-reserved before wiring (components hold raw
+  /// pointers — the vectors must never reallocate).
+  std::vector<Channel<Flit>> flit_channels_;
+  std::vector<Channel<Credit>> credit_channels_;
+  std::vector<Router> routers_;
+  std::vector<NetworkInterface> nis_;
   /// flit_out_[node][dir] aliases the channel owned by flit_channels_.
   std::vector<std::array<Channel<Flit>*, kNumPorts>> flit_out_;
 
@@ -161,24 +182,33 @@ class Network {
   // --- domain decomposition (sized before any component is wired; the
   // --- shard pointers handed to NIs must never move) ---
   int num_domains_ = 1;
-  std::vector<int> node_domain_;                       ///< node -> domain
-  std::vector<std::pair<NodeId, NodeId>> domain_range_;  ///< [begin, end)
-  /// Per-domain FabricCounters; each NI (and the fault-drop hook) writes
-  /// only its own domain's shard. counters() folds them in domain order.
-  std::vector<FabricCounters> counter_shards_;
+  int tiles_x_ = 1;
+  int tiles_y_ = 1;
+  std::vector<int> node_domain_;       ///< node -> domain
+  std::vector<DomainRect> domain_rect_;
+  /// Per-domain FabricCounters, each padded to its own cache line(s); each
+  /// NI (and the fault-drop hook) writes only its own domain's shard.
+  /// counters() folds them in domain order.
+  std::vector<CounterShard> counter_shards_;
   /// Per-domain staged router wake marks for cross-domain channel sends;
   /// ORed into router_live_ at the barrier.
   std::vector<WakeList> wake_stages_;
   /// Channels whose sender and receiver live in different domains; they
   /// run in staging mode and are merged (in wiring == deterministic order)
-  /// at the barrier. Only N/S inter-router links can cross row bands.
+  /// at the barrier. Row splits put N/S links on the boundary, column
+  /// splits E/W links — the generic sender/receiver domain test catches
+  /// both.
   std::vector<Channel<Flit>*> boundary_flit_;
   std::vector<Channel<Credit>*> boundary_credit_;
-  /// Per-domain ejection-record staging: with >1 domain the NIs' primary
-  /// callback appends here and the barrier replays user_eject_cb_ +
-  /// eject_observers_ in node-id order (LatencyStats accumulates doubles —
-  /// replay order must match serial exactly).
-  std::vector<std::vector<PacketRecord>> eject_stage_;
+  /// Per-domain ejection-record staging, tagged with the ejecting NI's node
+  /// id: with >1 domain the NIs' primary callback appends here and the
+  /// barrier replays user_eject_cb_ + eject_observers_ through a k-way
+  /// min-front merge back into global node-id order (LatencyStats
+  /// accumulates doubles — replay order must match serial exactly; with
+  /// tile grids, concatenating stages in domain order is no longer
+  /// id-sorted, so the merge is what preserves bit-identity).
+  std::vector<std::vector<std::pair<NodeId, PacketRecord>>> eject_stage_;
+  std::vector<std::size_t> eject_merge_pos_;  ///< merge scratch (no alloc)
   std::function<void(const PacketRecord&)> user_eject_cb_;
   std::vector<std::function<void(const PacketRecord&)>> eject_observers_;
   /// Workers for domains 1..D-1 (domain 0 steps on the calling thread).

@@ -6,11 +6,20 @@
 
 namespace flov {
 
-NetworkInterface::NetworkInterface(NodeId node, const NocParams& params)
-    : node_(node),
-      params_(params),
-      credits_(params.total_vcs(), params.buffer_depth),
-      vc_busy_(params.total_vcs(), false) {}
+NetworkInterface::NetworkInterface(NodeId node, const NocParams& params,
+                                   MeshHotState* hot)
+    : node_(node), params_(params) {
+  NodeId slot = node_;
+  if (hot == nullptr) {
+    // Standalone construction (unit tests): private single-slot slab.
+    self_hot_ = std::make_unique<MeshHotState>();
+    self_hot_->init(1, params.total_vcs(), params.buffer_depth);
+    hot = self_hot_.get();
+    slot = 0;
+  }
+  credits_ = hot->ni_credit_row(slot);
+  vc_busy_ = hot->ni_busy_row(slot);
+}
 
 void NetworkInterface::step(Cycle now) {
   // Credits returned by the router for previously injected flits.

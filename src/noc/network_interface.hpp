@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "noc/active_set.hpp"
 #include "noc/channel.hpp"
 #include "noc/flit.hpp"
+#include "noc/hot_state.hpp"
 #include "noc/noc_params.hpp"
 #include "telemetry/trace.hpp"
 
@@ -55,7 +57,11 @@ struct DeadPacket {
 
 class NetworkInterface {
  public:
-  NetworkInterface(NodeId node, const NocParams& params);
+  /// `hot` points at the mesh-wide SoA slab holding this NI's per-VC credit
+  /// counters and busy flags (indexed by `node`); null (standalone unit
+  /// tests) binds a private single-slot slab.
+  NetworkInterface(NodeId node, const NocParams& params,
+                   MeshHotState* hot = nullptr);
 
   // Wiring (non-owning), mirror of the router's local port.
   void connect_to_router(Channel<Flit>* ch) { to_router_ = ch; }
@@ -206,8 +212,10 @@ class NetworkInterface {
 
   std::deque<PacketDescriptor> queue_;
   std::map<VcId, Stream> streams_;   ///< in-flight injection per local VC
-  std::vector<int> credits_;         ///< free slots per local input VC
-  std::vector<bool> vc_busy_;        ///< local VC mid-packet (until tail sent)
+  /// Private single-slot slab for standalone construction (unit tests).
+  std::unique_ptr<MeshHotState> self_hot_;
+  Span<std::int32_t> credits_;   ///< free slots per local input VC (slab)
+  Span<std::uint8_t> vc_busy_;   ///< local VC mid-packet until tail (slab)
   int rr_vc_ = 0;
 
   std::map<std::uint64_t, Flit> pending_heads_;  ///< head held until tail

@@ -19,11 +19,17 @@ struct OutputVcState {
 };
 
 struct OutputPort {
-  std::vector<OutputVcState> vcs;
+  /// View into the mesh-wide SoA slab (noc/hot_state.hpp).
+  Span<OutputVcState> vcs;
 
+  /// Resets every record to fresh-allocation state with `depth` credits
+  /// (wakeup re-init; real values follow via the credit handover).
   void init(int num_vcs, int depth) {
-    vcs.assign(num_vcs, OutputVcState{});
-    for (auto& v : vcs) v.credits = depth;
+    FLOV_CHECK(num_vcs == vcs.size(), "output port VC count mismatch");
+    for (auto& v : vcs) {
+      v = OutputVcState{};
+      v.credits = depth;
+    }
   }
 
   bool any_allocated() const {
@@ -36,9 +42,10 @@ struct OutputPort {
   /// Reloads every credit counter (FLOV credit-copy at Sleep/Active
   /// transitions). `free_counts` is indexed by absolute VC.
   void reload_credits(const std::vector<int>& free_counts) {
-    FLOV_CHECK(free_counts.size() == vcs.size(), "credit reload size");
-    for (std::size_t v = 0; v < vcs.size(); ++v) {
-      vcs[v].credits = free_counts[v];
+    FLOV_CHECK(static_cast<std::int32_t>(free_counts.size()) == vcs.size(),
+               "credit reload size");
+    for (std::int32_t v = 0; v < vcs.size(); ++v) {
+      vcs[v].credits = free_counts[static_cast<std::size_t>(v)];
     }
   }
 };

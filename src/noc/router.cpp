@@ -18,14 +18,27 @@ const char* to_string(PowerState s) {
 }
 
 Router::Router(NodeId id, const MeshGeometry& geom, const NocParams& params,
-               RoutingFunction* routing, PowerTracker* power)
+               RoutingFunction* routing, PowerTracker* power,
+               MeshHotState* hot)
     : id_(id), geom_(geom), params_(params), routing_(routing),
       power_(power) {
   FLOV_CHECK(routing_ != nullptr, "router needs a routing function");
   const int nvc = params_.total_vcs();
+  FLOV_CHECK(nvc <= 64, "mask-based switch allocation supports <= 64 VCs");
+  NodeId slot = id_;
+  if (hot == nullptr) {
+    // Standalone construction (unit tests): private single-slot slab.
+    self_hot_ = std::make_unique<MeshHotState>();
+    self_hot_->init(1, nvc, params_.buffer_depth);
+    hot = self_hot_.get();
+    slot = 0;
+  }
+  mode_ = &hot->mode[slot];
+  resident_ = &hot->resident[slot];
+  latch_ = hot->latches(slot);
   for (int p = 0; p < kNumPorts; ++p) {
-    input_[p].vcs.assign(nvc, InputVc{});
-    output_[p].init(nvc, params_.buffer_depth);
+    input_[p].vcs = hot->input_vcs(slot, p);
+    output_[p].vcs = hot->output_vcs(slot, p);
     sa_input_arb_.emplace_back(nvc);
     sa_output_arb_.emplace_back(kNumPorts);
   }
@@ -50,7 +63,7 @@ void Router::connect_credit_in(Direction port, Channel<Credit>* ch) {
 }
 
 void Router::step(Cycle now) {
-  if (mode_ == RouterMode::kDead) {
+  if ((*mode_) == RouterMode::kDead) {
     // Black hole: destroy arriving flits but still return their credits,
     // so upstream worms drain through the corpse instead of wedging.
     for (int p = 0; p < kNumPorts; ++p) {
@@ -64,7 +77,7 @@ void Router::step(Cycle now) {
     }
     return;
   }
-  if (mode_ == RouterMode::kParked) {
+  if ((*mode_) == RouterMode::kParked) {
     // The fabric manager guarantees no traffic reaches a parked router.
     for (int p = 0; p < kNumPorts; ++p) {
       if (in_flit_[p]) {
@@ -82,7 +95,7 @@ void Router::step(Cycle now) {
 
   accept_credits(now);
 
-  if (mode_ == RouterMode::kBypass) {
+  if ((*mode_) == RouterMode::kBypass) {
     forward_latches(now);
     accept_flits_bypass(now);
     return;
@@ -110,7 +123,7 @@ void Router::step(Cycle now) {
   // passed (no resident flits, no staged traversals, no allocated output —
   // an allocated output means a worm still has flits upstream), the
   // pipeline goes dark for good.
-  if (dying_ && resident_flits_ == 0 && pending_st_.empty() &&
+  if (dying_ && (*resident_) == 0 && pending_st_.empty() &&
       all_outputs_idle()) {
     dying_ = false;
     dying_eat_.fill(0);
@@ -119,8 +132,8 @@ void Router::step(Cycle now) {
 }
 
 void Router::begin_death(Cycle now) {
-  if (mode_ == RouterMode::kDead || dying_) return;
-  if (mode_ == RouterMode::kPipeline &&
+  if ((*mode_) == RouterMode::kDead || dying_) return;
+  if ((*mode_) == RouterMode::kPipeline &&
       !(completely_empty() && all_outputs_idle())) {
     dying_ = true;
     return;
@@ -134,7 +147,7 @@ void Router::accept_credits(Cycle now) {
   for (int p = 0; p < kNumPorts; ++p) {
     if (!credit_in_[p]) continue;
     for (const Credit& c : credit_in_[p]->recv_all(now)) {
-      if (mode_ == RouterMode::kPipeline) {
+      if ((*mode_) == RouterMode::kPipeline) {
         auto& ovc = output_[p].vcs[c.vc];
         ovc.credits++;
         FLOV_DCHECK(ovc.credits <= params_.buffer_depth,
@@ -161,12 +174,12 @@ void Router::accept_credits(Cycle now) {
 
 void Router::refund_output_credit(Direction out_port, VcId vc, Cycle now) {
   const int p = dir_index(out_port);
-  if (mode_ == RouterMode::kPipeline) {
+  if ((*mode_) == RouterMode::kPipeline) {
     auto& ovc = output_[p].vcs[vc];
     ovc.credits++;
     FLOV_DCHECK(ovc.credits <= params_.buffer_depth,
                 "credit refund overflow at router " + std::to_string(id_));
-  } else if (mode_ == RouterMode::kBypass) {
+  } else if ((*mode_) == RouterMode::kBypass) {
     // The credit belongs to the active router upstream of the bypass
     // chain; relay it there exactly like a received credit (a bypassed
     // flit out `out_port` came in from opposite(out_port), so the
@@ -220,7 +233,7 @@ void Router::accept_flits(Cycle now) {
         vc.wait_since = now;
       }
       vc.buffer.push_back(*f);
-      resident_flits_++;
+      (*resident_)++;
       count(EnergyEvent::kBufferWrite);
       if (p == dir_index(Direction::Local)) last_local_activity_ = now;
     }
@@ -233,7 +246,7 @@ void Router::forward_latches(Cycle now) {
     if (!l.flit.has_value() || l.write_cycle >= now) continue;
     Flit f = *l.flit;
     l.flit.reset();
-    resident_flits_--;
+    (*resident_)--;
     if (f.head) {
       f.flov_hops++;
       f.link_hops++;
@@ -287,7 +300,7 @@ void Router::accept_flits_bypass(Cycle now) {
                  "FLOV latch overrun at router " + std::to_string(id_));
       l.flit = *f;
       l.write_cycle = now;
-      resident_flits_++;
+      (*resident_)++;
     }
   }
   auto* local = in_flit_[dir_index(Direction::Local)];
@@ -304,7 +317,7 @@ void Router::do_switch_traversal(Cycle now) {
                "stale switch grant");
     Flit f = vc.buffer.front();
     vc.buffer.pop_front();
-    resident_flits_--;
+    (*resident_)--;
 
     const int outp = dir_index(vc.out_dir);
     auto& ovc = output_[outp].vcs[vc.out_vc];
@@ -501,37 +514,35 @@ void Router::do_vc_allocation(Cycle now) {
 
 void Router::do_switch_allocation(Cycle now) {
   (void)now;
-  // Input stage: each input port nominates one ready VC.
+  // Input stage: each input port nominates one ready VC. Request sets are
+  // uint64 masks (total_vcs <= 64, checked at construction) so this runs
+  // allocation-free — it used to build two std::vector<bool>s per port per
+  // cycle, the hot path's last remaining heap traffic.
   std::array<VcId, kNumPorts> nominee;
   nominee.fill(-1);
   const int nvc = params_.total_vcs();
+  // Per-output-port masks of input ports whose nominee wants that output,
+  // built alongside the input stage so the output stage never re-reads VCs.
+  std::array<std::uint64_t, kNumPorts> out_req{};
   for (int p = 0; p < kNumPorts; ++p) {
-    std::vector<bool> req(nvc, false);
-    bool any = false;
+    std::uint64_t req = 0;
     for (VcId v = 0; v < nvc; ++v) {
       const auto& vc = input_[p].vcs[v];
       if (vc.state != VcState::kActive || vc.buffer.empty()) continue;
       const auto& ovc = output_[dir_index(vc.out_dir)].vcs[vc.out_vc];
       if (ovc.credits <= 0) continue;
-      req[v] = true;
-      any = true;
+      req |= std::uint64_t{1} << v;
     }
-    if (any) nominee[p] = sa_input_arb_[p].arbitrate(req);
+    if (req != 0) {
+      nominee[p] = sa_input_arb_[p].arbitrate(req);
+      out_req[dir_index(input_[p].vcs[nominee[p]].out_dir)] |=
+          std::uint64_t{1} << p;
+    }
   }
   // Output stage: each output port grants one input port.
   for (int outp = 0; outp < kNumPorts; ++outp) {
-    std::vector<bool> req(kNumPorts, false);
-    bool any = false;
-    for (int p = 0; p < kNumPorts; ++p) {
-      if (nominee[p] < 0) continue;
-      const auto& vc = input_[p].vcs[nominee[p]];
-      if (dir_index(vc.out_dir) == outp) {
-        req[p] = true;
-        any = true;
-      }
-    }
-    if (!any) continue;
-    const int winner = sa_output_arb_[outp].arbitrate(req);
+    if (out_req[outp] == 0) continue;
+    const int winner = sa_output_arb_[outp].arbitrate(out_req[outp]);
     FLOV_CHECK(winner >= 0, "output arbiter returned no winner");
     pending_st_.push_back(SwitchGrant{winner, nominee[winner]});
     count(EnergyEvent::kSwArb);
@@ -599,8 +610,8 @@ void Router::dump_occupancy(Cycle now) const {
 }
 
 void Router::set_mode(RouterMode m, Cycle now) {
-  if (m == mode_) return;
-  FLOV_CHECK(mode_ != RouterMode::kDead, "a dead router cannot change mode");
+  if (m == (*mode_)) return;
+  FLOV_CHECK((*mode_) != RouterMode::kDead, "a dead router cannot change mode");
   if (m == RouterMode::kDead) {
     // Death is instantaneous: resident flits die with the tile. Their
     // buffer slots are surrendered back upstream so senders mid-worm can
@@ -611,7 +622,7 @@ void Router::set_mode(RouterMode m, Cycle now) {
         while (!vc.buffer.empty()) {
           const Flit f = vc.buffer.front();
           vc.buffer.pop_front();
-          resident_flits_--;
+          (*resident_)--;
           if (kill_cb_) kill_cb_(f);
           if (credit_out_[p]) credit_out_[p]->send(now, Credit{v});
         }
@@ -622,11 +633,11 @@ void Router::set_mode(RouterMode m, Cycle now) {
       if (l.flit.has_value()) {
         if (kill_cb_) kill_cb_(*l.flit);
         l.flit.reset();
-        resident_flits_--;
+        (*resident_)--;
       }
     }
     pending_st_.clear();
-    mode_ = m;
+    (*mode_) = m;
     if (wake_) wake_->mark(wake_index_);
     if (power_) power_->set_mode(id_, RouterPowerMode::kRpParked, now);
     return;
@@ -653,7 +664,7 @@ void Router::set_mode(RouterMode m, Cycle now) {
     // VA ticks resume at the next step; gated cycles never ticked.
     va_tick_from_ = now + 1;
   }
-  mode_ = m;
+  (*mode_) = m;
   // Any mode switch re-arms the router: the new datapath must observe its
   // wires at least once (e.g. a parked router voiding stale credits).
   if (wake_) wake_->mark(wake_index_);
@@ -701,14 +712,14 @@ bool Router::bypass_quiet() const {
 }
 
 bool Router::completely_empty() const {
-  FLOV_DCHECK(resident_flits_ == recount_resident_flits(),
+  FLOV_DCHECK((*resident_) == recount_resident_flits(),
               "resident flit counter drifted at router " + std::to_string(id_));
-  return resident_flits_ == 0 && pending_st_.empty();
+  return (*resident_) == 0 && pending_st_.empty();
 }
 
 int Router::buffered_flits() const {
   const int n = recount_resident_flits();
-  FLOV_DCHECK(resident_flits_ == n, "resident flit counter drifted at router " +
+  FLOV_DCHECK((*resident_) == n, "resident flit counter drifted at router " +
                                         std::to_string(id_));
   return n;
 }

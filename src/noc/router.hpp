@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "noc/arbiter.hpp"
 #include "noc/channel.hpp"
 #include "noc/flit.hpp"
+#include "noc/hot_state.hpp"
 #include "noc/input_unit.hpp"
 #include "noc/noc_params.hpp"
 #include "noc/output_unit.hpp"
@@ -34,29 +36,17 @@
 
 namespace flov {
 
-/// Datapath operating mode (distinct from the protocol PowerState: a
-/// Draining router still runs kPipeline; a Wakeup router still runs
-/// kBypass until it turns Active).
-enum class RouterMode : std::uint8_t {
-  kPipeline = 0,  ///< baseline router operational
-  kBypass,        ///< power-gated with FLOV latches active
-  kParked,        ///< fully off (Router Parking)
-  /// Hard-faulted (permanently dead, PROTOCOL.md §8). Unlike kParked —
-  /// whose contract is that no traffic ever arrives — a dead router is a
-  /// black hole that actively destroys arriving flits (reported through the
-  /// kill callback for fault accounting) while still returning their
-  /// credits upstream, so in-flight worms drain through the corpse instead
-  /// of wedging their upstream VCs forever.
-  kDead,
-};
-
 class Router {
  public:
+  /// `hot` points at the mesh-wide SoA slab (noc/hot_state.hpp) this
+  /// router's hot fields live in, indexed by `id`; null (standalone unit
+  /// tests) binds a private single-slot slab instead.
   Router(NodeId id, const MeshGeometry& geom, const NocParams& params,
-         RoutingFunction* routing, PowerTracker* power);
+         RoutingFunction* routing, PowerTracker* power,
+         MeshHotState* hot = nullptr);
 
   NodeId id() const { return id_; }
-  RouterMode mode() const { return mode_; }
+  RouterMode mode() const { return *mode_; }
 
   // --- wiring (called once by the Network; non-owning) ---
   void connect_flit_in(Direction port, Channel<Flit>* ch);
@@ -85,7 +75,7 @@ class Router {
   /// skipped VA round-robin ticks are replayed on the next pipeline step
   /// (see step()), keeping results bit-identical to stepping every cycle.
   bool quiescent() const {
-    if (resident_flits_ != 0 || !pending_st_.empty()) return false;
+    if (*resident_ != 0 || !pending_st_.empty()) return false;
     for (int p = 0; p < kNumPorts; ++p) {
       if (in_flit_[p] && !in_flit_[p]->empty()) return false;
       if (credit_in_[p] && !credit_in_[p]->empty()) return false;
@@ -214,11 +204,6 @@ class Router {
     VcId in_vc;
   };
 
-  struct FlovLatch {
-    std::optional<Flit> flit;
-    Cycle write_cycle = 0;
-  };
-
   void accept_credits(Cycle now);
   void accept_flits(Cycle now);
   void accept_flits_bypass(Cycle now);
@@ -251,7 +236,15 @@ class Router {
   RoutingFunction* routing_;
   PowerTracker* power_;
 
-  RouterMode mode_ = RouterMode::kPipeline;
+  /// Private single-slot slab for standalone construction (unit tests);
+  /// unused when the Network hands us its mesh slab.
+  std::unique_ptr<MeshHotState> self_hot_;
+  /// Hot fields in the SoA slab (this router's slots). mode_/resident_
+  /// point at mode[id]/resident[id]; the port views cover the per-VC
+  /// stripes; latch_ the FLOV latches.
+  RouterMode* mode_ = nullptr;
+  std::int32_t* resident_ = nullptr;
+
   NeighborhoodView view_;
 
   std::array<Channel<Flit>*, kNumPorts> in_flit_{};
@@ -261,7 +254,7 @@ class Router {
 
   std::array<InputPort, kNumPorts> input_;
   std::array<OutputPort, kNumPorts> output_;
-  std::array<FlovLatch, kNumMeshDirs> latch_;
+  Span<FlovLatch> latch_;
 
   std::vector<SwitchGrant> pending_st_;
   std::vector<RoundRobinArbiter> sa_input_arb_;   // one per input port
@@ -273,10 +266,6 @@ class Router {
   const std::vector<char>* dead_mask_ = nullptr;
   WakeList* wake_ = nullptr;
   int wake_index_ = -1;
-  /// Flits resident right now (input VC buffers + FLOV latches), maintained
-  /// incrementally; completely_empty()/quiescent() read it instead of
-  /// walking every VC. FLOV_DCHECKed against buffered_flits() in debug.
-  int resident_flits_ = 0;
   /// Fail-functional death grace (begin_death): still kPipeline, finishing
   /// worms in progress; flips to kDead once the datapath is clean.
   bool dying_ = false;

@@ -42,11 +42,13 @@ class PowerTracker {
   /// readers below fold node cells + the global cell in fixed order, so
   /// totals are exact integers independent of the schedule.
   void count_node(NodeId router, EnergyEvent e, std::uint64_t n = 1) {
-    node_event_counts_[router][static_cast<int>(e)] += n;
+    node_event_counts_[router].v[static_cast<int>(e)] += n;
   }
   std::uint64_t event_count(EnergyEvent e) const {
     std::uint64_t n = event_counts_[static_cast<int>(e)];
-    for (const auto& cell : node_event_counts_) n += cell[static_cast<int>(e)];
+    for (const auto& cell : node_event_counts_) {
+      n += cell.v[static_cast<int>(e)];
+    }
     return n;
   }
 
@@ -85,8 +87,17 @@ class PowerTracker {
   std::vector<double> static_energy_pj_; // per-router, flushed-to-date
   std::vector<int> out_links_;           // outgoing mesh links per router
   std::array<std::uint64_t, kNumEnergyEvents> event_counts_{};
+  /// One router's event cell, padded to whole cache lines (64 matches
+  /// every x86-64/AArch64 target this runs on): under domain-parallel
+  /// stepping, routers at a tile boundary bump adjacent cells from
+  /// different workers every switch traversal — unpadded, the boundary
+  /// cells straddle a shared line and ping-pong it.
+  struct alignas(64) NodeEventCell {
+    std::array<std::uint64_t, kNumEnergyEvents> v{};
+    void fill(std::uint64_t x) { v.fill(x); }
+  };
   /// Per-router event cells (see count_node).
-  std::vector<std::array<std::uint64_t, kNumEnergyEvents>> node_event_counts_;
+  std::vector<NodeEventCell> node_event_counts_;
   Cycle window_start_ = 0;
 };
 

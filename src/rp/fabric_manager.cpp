@@ -97,12 +97,14 @@ void FabricManager::apply(Cycle now) {
     }
     // Packets generated before the change but aimed at a node that is now
     // parked have no legal route; void them (counted; the OS/coherence
-    // layer would never address a parked node in steady state). Under hard
-    // faults this extends to any (src, dest) pair the surviving up*/down*
-    // graph cannot connect.
+    // layer would never address a parked node in steady state). The same
+    // applies to packets still QUEUED at a node whose own router is now
+    // parked: its injection port is off, so releasing the stall would feed
+    // them into a parked router. Under hard faults this extends to any
+    // (src, dest) pair the surviving up*/down* graph cannot connect.
     purged_ += net_->ni(i).purge_queue([&](const PacketDescriptor& p) {
-      if (!powered_[p.dest]) return true;
-      return hard && powered_[i] && !routes->reachable(i, p.dest);
+      if (!powered_[i] || !powered_[p.dest]) return true;
+      return hard && !routes->reachable(i, p.dest);
     });
   }
   dirty_ = false;

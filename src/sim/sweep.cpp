@@ -21,9 +21,21 @@ int resolve_jobs(int jobs) {
 }
 
 int resolve_jobs(int jobs, int threads_per_job) {
-  if (jobs > 0) return jobs;
   if (threads_per_job < 1) threads_per_job = 1;
   const int hw = resolve_jobs(0);
+  if (jobs > 0) {
+    // An explicit jobs= is always respected, but jobs x step-threads
+    // beyond the core count silently serializes the domain barriers —
+    // worth a warning, not an override.
+    if (jobs * threads_per_job > hw) {
+      std::fprintf(stderr,
+                   "[sweep] warning: jobs=%d x threads=%d oversubscribes "
+                   "hardware_concurrency=%d; expect barrier stalls (drop "
+                   "jobs= or threads=)\n",
+                   jobs, threads_per_job, hw);
+    }
+    return jobs;
+  }
   const int budget = hw / threads_per_job;
   return budget < 1 ? 1 : budget;
 }

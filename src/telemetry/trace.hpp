@@ -103,7 +103,11 @@ struct TraceEvent {
   }
 };
 
-class Tracer {
+/// Cache-line aligned (64 bytes): per-domain shard tracers are written
+/// concurrently by the domain workers (record() bumps head_/size_ and the
+/// ring slot every traced event), so two shards' member blocks must never
+/// share a line.
+class alignas(64) Tracer {
  public:
   explicit Tracer(std::uint32_t mask, std::size_t capacity = 1u << 20);
 

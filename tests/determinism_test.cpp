@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
@@ -126,7 +128,7 @@ TEST(Determinism, ParallelRunRethrowsLowestIndexError) {
 // --- intra-run domain-parallel stepping (noc.step_threads) ---
 //
 // The parallel schedule is deterministic BY CONSTRUCTION (>= 1-cycle channel
-// latency means a send at cycle t is first observable at t+1, so row-band
+// latency means a send at cycle t is first observable at t+1, so tile
 // domains stepped concurrently see exactly the serial cycle-t state); these
 // tests pin the construction down: threads=N must be bit-identical to
 // threads=1, not merely statistically equivalent.
@@ -236,6 +238,91 @@ TEST(Determinism, ThreadCountAboveMeshHeightClampsAndStaysIdentical) {
   // clamped pool must still match serial exactly.
   const RunResult serial = run_synthetic(sized_config(Scheme::kRp, 4, 0.3, 9, 1));
   const RunResult par = run_synthetic(sized_config(Scheme::kRp, 4, 0.3, 9, 16));
+  expect_identical(serial, par);
+}
+
+// --- 2D tile domains (noc.step_tiles_x/y, CLI tiles=TXxTY) ---
+//
+// Row bands are the auto policy; explicit tile grids additionally stage
+// East/West boundary channels and break the "domain order == node-id
+// order" property row bands had, which the barrier-side k-way merges must
+// compensate for. Byte-identical manifests are the strongest equality we
+// can assert: metrics, latency stats (order-sensitive floating point),
+// incidents and counters all have to match.
+
+std::string manifest_json(const RunResult& r, std::uint64_t seed) {
+  telemetry::RunManifest m;
+  m.name = "determinism_test";
+  m.scheme = r.scheme;
+  m.seed = seed;
+  m.metrics = r.metrics.get();
+  m.incidents = r.incidents.get();
+  return m.to_json();  // volatile fields left at defaults on both sides
+}
+
+TEST(Determinism, TileGridMatchesRowBandsAndSerial8x8AllSchemes) {
+  // Fault-seeded: fates are pure hashes of (seed, packet, link, ...) so no
+  // tiling may perturb them (see ThreadedStepMatchesSerialUnderFaultInjection
+  // for why check_psr is off under signal loss).
+  for (Scheme s : kAllSchemes) {
+    SyntheticExperimentConfig ex = sized_config(s, 8, 0.4, 17, 1);
+    ex.verifier.check_psr = false;
+    ex.faults.seed = 17;
+    ex.faults.flit_drop_rate = 0.0005;
+    ex.faults.signal_drop_rate = 0.001;
+    const RunResult serial = run_synthetic(ex);
+    const std::string serial_manifest = manifest_json(serial, 17);
+    ex.noc.step_threads = 4;  // auto policy: 4 row bands
+    const RunResult rows = run_synthetic(ex);
+    {
+      SCOPED_TRACE(std::string(to_string(s)) + " rows threads=4");
+      expect_identical(serial, rows);
+      EXPECT_EQ(serial_manifest, manifest_json(rows, 17));
+    }
+    const std::pair<int, int> grids[] = {{2, 2}, {4, 1}, {2, 4}};
+    for (const auto& [tx, ty] : grids) {
+      ex.noc.step_tiles_x = tx;
+      ex.noc.step_tiles_y = ty;
+      const RunResult tiles = run_synthetic(ex);
+      SCOPED_TRACE(std::string(to_string(s)) + " tiles=" +
+                   std::to_string(tx) + "x" + std::to_string(ty));
+      expect_identical(serial, tiles);
+      EXPECT_EQ(serial_manifest, manifest_json(tiles, 17));
+    }
+  }
+}
+
+TEST(Determinism, TileGridMatchesSerial16x16AllSchemes) {
+  for (Scheme s : kAllSchemes) {
+    SyntheticExperimentConfig ex = sized_config(s, 16, 0.3, 23, 1);
+    ex.warmup = 200;
+    ex.measure = 1200;  // short: 16x16 runs 16x the 4x4 work per cycle
+    ex.verifier.check_psr = false;
+    ex.faults.seed = 23;
+    ex.faults.flit_drop_rate = 0.0003;
+    const RunResult serial = run_synthetic(ex);
+    const std::string serial_manifest = manifest_json(serial, 23);
+    const std::pair<int, int> grids[] = {{2, 2}, {4, 2}};
+    for (const auto& [tx, ty] : grids) {
+      ex.noc.step_tiles_x = tx;
+      ex.noc.step_tiles_y = ty;
+      const RunResult tiles = run_synthetic(ex);
+      SCOPED_TRACE(std::string(to_string(s)) + " tiles=" +
+                   std::to_string(tx) + "x" + std::to_string(ty));
+      expect_identical(serial, tiles);
+      EXPECT_EQ(serial_manifest, manifest_json(tiles, 23));
+    }
+  }
+}
+
+TEST(Determinism, TileCountAboveMeshDimsClampsAndStaysIdentical) {
+  // tiles=16x2 on a 4x4 mesh clamps the columns to the mesh width (4x2 =
+  // 8 single-row-pair domains); the clamped grid must still match serial.
+  SyntheticExperimentConfig ex = sized_config(Scheme::kGFlov, 4, 0.3, 9, 1);
+  const RunResult serial = run_synthetic(ex);
+  ex.noc.step_tiles_x = 16;
+  ex.noc.step_tiles_y = 2;
+  const RunResult par = run_synthetic(ex);
   expect_identical(serial, par);
 }
 

@@ -176,6 +176,27 @@ TEST(FabricManager, PurgesPacketsToParkedDestinations) {
   EXPECT_EQ(sys.fabric_manager().purged_packets(), 1u);
 }
 
+TEST(FabricManager, PurgesPacketsQueuedAtParkedSources) {
+  RpNetwork sys(small_params(), EnergyParams{});
+  Cycle now = 0;
+  auto run = [&](Cycle n) {
+    for (Cycle i = 0; i < n; ++i) sys.step(now++);
+  };
+  sys.set_core_gated(5, true, now);
+  run(2);
+  // Leftovers in the just-gated node's own queue: its router is about to
+  // park, so they can never enter the fabric. Without the source-side
+  // purge they would be injected into the parked router once the stall
+  // lifts — the "flit arrived at a parked router" fatal that large-mesh
+  // scalability runs hit (at 24x24+, some gated node almost always has a
+  // non-empty queue at the reconfiguration instant).
+  sys.network().enqueue(pkt(5, 0));
+  sys.network().enqueue(pkt(5, 10));
+  run(1500);
+  EXPECT_EQ(sys.fabric_manager().purged_packets(), 2u);
+  EXPECT_EQ(sys.parked_router_count(), 1);
+}
+
 TEST(FabricManager, MinEpochGapBatchesChanges) {
   FabricManagerConfig cfg;
   cfg.min_epoch_gap = 5000;
