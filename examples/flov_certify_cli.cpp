@@ -25,8 +25,14 @@
 //   min_reps= max_reps= batch= seed_base= vary_faults=0|1
 //   jobs=N retries=N retry_backoff_ms=N checkpoint=path resume=0|1
 //   certificate=path name=...
+//   progress=1                  deterministic stderr progress lines (reps
+//                               folded / cap + checkpoint; off by default)
+//   serve=port ops_stream=path  live ops plane (campaign mode; see
+//                               docs/OBSERVABILITY.md) — never affects
+//                               results or the certificate
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/config.hpp"
@@ -34,6 +40,7 @@
 #include "sim/certify.hpp"
 #include "sim/checkpoint.hpp"
 #include "telemetry/manifest.hpp"
+#include "telemetry/ops/ops_plane.hpp"
 
 int main(int argc, char** argv) {
   using namespace flov;
@@ -93,12 +100,34 @@ int main(int argc, char** argv) {
       static_cast<int>(cfg.get_int("retry_backoff_ms", 100));
   opts.checkpoint_path = cfg.get_string("checkpoint", "");
   opts.resume = cfg.get_bool("resume", false);
-  opts.progress = [](std::uint64_t done, std::uint64_t cap) {
-    std::fprintf(stderr, "\r[%llu/%llu]",
-                 static_cast<unsigned long long>(done),
-                 static_cast<unsigned long long>(cap));
-    if (done == cap) std::fprintf(stderr, "\n");
-  };
+
+  // Campaign-mode ops plane: /metrics and /snapshot track replications
+  // folded into the stopping rule.
+  const ops::OpsOptions ops_opt = ops::OpsOptions::from_config(cfg);
+  std::unique_ptr<ops::OpsPlane> ops_plane;
+  if (ops_opt.any()) {
+    ops_plane = std::make_unique<ops::OpsPlane>(ops_opt);
+    ops_plane->begin_campaign("certify", opts.max_replications,
+                              opts.checkpoint_path);
+  }
+  // Deterministic progress lines (full lines, identical content for a
+  // given done/cap) gated behind progress=; off by default.
+  const bool show_progress = cfg.get_bool("progress", false);
+  if (show_progress || ops_plane != nullptr) {
+    ops::OpsPlane* plane = ops_plane.get();
+    const std::string ckpt = opts.checkpoint_path;
+    opts.progress = [show_progress, plane, ckpt](std::uint64_t done,
+                                                 std::uint64_t cap) {
+      if (plane != nullptr) plane->campaign_progress(done);
+      if (show_progress) {
+        std::fprintf(stderr, "[certify] %llu/%llu reps%s%s\n",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(cap),
+                     ckpt.empty() ? "" : " checkpoint=",
+                     ckpt.empty() ? "" : ckpt.c_str());
+      }
+    };
+  }
 
   std::printf(
       "flov_certify: metric=%s confidence=%.3f target=%.4f cap=%llu "
@@ -114,7 +143,6 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  std::fprintf(stderr, "\n");
 
   std::printf("%-15s %10s %10s %8s %18s %18s\n", "metric", "successes",
               "trials", "point", "wilson[lo,hi]", "cp[lo,hi]");
@@ -143,7 +171,9 @@ int main(int argc, char** argv) {
     for (const std::string& k : cfg.keys()) {
       if (k == "resume" || k == "checkpoint" || k == "retries" ||
           k == "retry_backoff_ms" || k == "jobs" || k == "certificate" ||
-          k == "threads") {
+          k == "threads" || k == "progress" || k == "serve" ||
+          k == "ops_stream" || k == "profile" || k == "profile_out" ||
+          k == "ops.period") {
         continue;
       }
       mcfg.set(k, cfg.get_string(k));

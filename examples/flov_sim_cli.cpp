@@ -10,11 +10,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "common/config.hpp"
 #include "fault/fault_model.hpp"
 #include "sim/experiment.hpp"
 #include "telemetry/manifest.hpp"
+#include "telemetry/ops/ops_plane.hpp"
 
 namespace {
 
@@ -74,7 +76,18 @@ void print_usage() {
       "  telemetry.trace=all trace_out=run.trace.json  Perfetto trace\n"
       "  manifest=run.json             flyover-run-manifest-v1 (resolved\n"
       "                                fault.* knobs echoed into config)\n"
-      "  incidents_out=run.incidents.json              incident log\n");
+      "  incidents_out=run.incidents.json              incident log\n"
+      "\n"
+      "Ops plane (docs/OBSERVABILITY.md; never affects results/manifests):\n"
+      "  serve=<port>               embedded HTTP server on 127.0.0.1\n"
+      "                             (/metrics /snapshot /heatmap /healthz;\n"
+      "                             0 = ephemeral, port printed to stderr)\n"
+      "  ops_stream=<path>          JSONL flight recorder: one\n"
+      "                             flyover-snapshot-v1 object per fold\n"
+      "  ops.period=<cycles>        cycles between snapshot folds (4096)\n"
+      "  profile=1                  wall-clock phase profiler (needs a\n"
+      "                             FLYOVER_PROFILING build; report to\n"
+      "                             stderr) profile_out=<path> for JSON\n");
 }
 
 }  // namespace
@@ -133,6 +146,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Ops plane: constructed only when requested — the disabled path adds a
+  // single null check per cycle inside run_synthetic and nothing else.
+  const ops::OpsOptions ops_opt = ops::OpsOptions::from_config(cfg);
+  std::unique_ptr<ops::OpsPlane> ops_plane;
+  if (ops_opt.any()) {
+    ops_plane = std::make_unique<ops::OpsPlane>(ops_opt);
+    ex.ops = ops_plane.get();
+  }
+  // Binds the phase profiler (if any) to this thread for the run; workers
+  // inherit it per-domain through Network::step.
+  telemetry::ProfileScope profile_scope(
+      ops_plane ? ops_plane->profiler() : nullptr, 0);
+
   std::printf("flov_sim: %s | %dx%d mesh | %s | inj %.4f flits/node/cycle | "
               "%.0f%% gated | seed %llu\n",
               to_string(ex.scheme), ex.noc.width, ex.noc.height,
@@ -146,6 +172,7 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  if (ops_plane) ops_plane->finish_profile(stderr);
 
   std::printf("\npackets measured      : %llu (generated %llu)\n",
               static_cast<unsigned long long>(r.packets_measured),
@@ -246,8 +273,18 @@ int main(int argc, char** argv) {
     m.scheme = r.scheme;
     // Echo every resolved fault.* knob (including defaulted ones) into the
     // manifest's config so two runs can never silently differ on one.
-    ex.faults.echo_to_config(cfg);
-    m.config = cfg;
+    // Ops-plane keys are stripped first: serving /metrics or profiling a
+    // run must leave its manifest byte-identical to a plain run's.
+    Config mcfg;
+    for (const std::string& k : cfg.keys()) {
+      if (k == "serve" || k == "ops_stream" || k == "profile" ||
+          k == "profile_out" || k == "ops.period") {
+        continue;
+      }
+      mcfg.set(k, cfg.get_string(k));
+    }
+    ex.faults.echo_to_config(mcfg);
+    m.config = mcfg;
     m.seed = ex.seed;
     m.wall_seconds = wall_seconds;
     m.trace_path = trace_out;

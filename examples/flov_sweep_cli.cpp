@@ -24,9 +24,16 @@
 //   warmup= cycles= timeline= drain= sim.max_cycles_hard= threads=
 //   jobs=N retries=N retry_backoff_ms=N checkpoint=path resume=0|1
 //   manifest=path                      flyover-sweep-manifest-v1
+//   progress=1                         deterministic stderr progress lines
+//                                      (points done/total + checkpoint
+//                                      path; off by default)
+//   serve=port ops_stream=path         live ops plane (campaign mode; see
+//                                      docs/OBSERVABILITY.md) — never
+//                                      affects results or the manifest
 //   plus any noc.* / energy.* / fault.* / verify.* / telemetry.* key.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +42,7 @@
 #include "sim/certify.hpp"
 #include "sim/sweep.hpp"
 #include "telemetry/manifest.hpp"
+#include "telemetry/ops/ops_plane.hpp"
 
 namespace {
 
@@ -119,10 +127,32 @@ int main(int argc, char** argv) {
       static_cast<int>(cfg.get_int("retry_backoff_ms", 100));
   opts.checkpoint_path = cfg.get_string("checkpoint", "");
   opts.resume = cfg.get_bool("resume", false);
-  opts.progress = [](int done, int total) {
-    std::fprintf(stderr, "\r[%d/%d]", done, total);
-    if (done == total) std::fprintf(stderr, "\n");
-  };
+
+  // Campaign-mode ops plane: /metrics and /snapshot track points folded.
+  const ops::OpsOptions ops_opt = ops::OpsOptions::from_config(cfg);
+  std::unique_ptr<ops::OpsPlane> ops_plane;
+  if (ops_opt.any()) {
+    ops_plane = std::make_unique<ops::OpsPlane>(ops_opt);
+    ops_plane->begin_campaign("sweep", points.size(), opts.checkpoint_path);
+  }
+  // Deterministic progress lines: full lines (no \r animation), identical
+  // content for a given done/total, so logs diff cleanly across jobs= and
+  // kill-and-resume runs. Off by default to keep batch stderr quiet.
+  const bool show_progress = cfg.get_bool("progress", false);
+  if (show_progress || ops_plane != nullptr) {
+    ops::OpsPlane* plane = ops_plane.get();
+    const std::string ckpt = opts.checkpoint_path;
+    opts.progress = [show_progress, plane, ckpt](int done, int total) {
+      if (plane != nullptr) {
+        plane->campaign_progress(static_cast<std::uint64_t>(done));
+      }
+      if (show_progress) {
+        std::fprintf(stderr, "[sweep] %d/%d points%s%s\n", done, total,
+                     ckpt.empty() ? "" : " checkpoint=",
+                     ckpt.empty() ? "" : ckpt.c_str());
+      }
+    };
+  }
 
   std::printf("flov_sweep: %zu points (%zu schemes x %zu patterns x %zu inj "
               "x %zu gated x %zu seeds)%s\n",
@@ -165,11 +195,14 @@ int main(int argc, char** argv) {
     m.name = "flov_sweep_cli";
     // The manifest config must not carry the runner's own plumbing keys:
     // a resumed sweep (resume=1, checkpoint=...) must emit a manifest
-    // byte-identical to the uninterrupted sweep's.
+    // byte-identical to the uninterrupted sweep's — and the ops plane /
+    // progress lines must leave it byte-identical to an ops-free sweep.
     Config mcfg;
     for (const std::string& k : cfg.keys()) {
       if (k == "resume" || k == "checkpoint" || k == "retries" ||
-          k == "retry_backoff_ms" || k == "jobs") {
+          k == "retry_backoff_ms" || k == "jobs" || k == "progress" ||
+          k == "serve" || k == "ops_stream" || k == "profile" ||
+          k == "profile_out" || k == "ops.period") {
         continue;
       }
       mcfg.set(k, cfg.get_string(k));

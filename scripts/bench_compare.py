@@ -22,6 +22,13 @@ dropped (or renamed) counter is exactly the kind of regression a metrics
 layer exists to catch, so NEW/REMOVED keys exit 1 with the offending
 names listed. Pass --allow-missing when comparing across an intentional
 schema change.
+
+--require NAME1,NAME2 asserts that each listed benchmark is present in
+BOTH inputs (prefix match, so "BM_GFlovCycle" covers
+"BM_GFlovCycle/gate_pct:40") and was compared. A missing required
+benchmark is a hard failure even under --allow-missing: the hot-path
+benches the ops plane must not slow down (BM_NetworkCycle,
+BM_GFlovCycle) cannot silently fall out of the comparison.
 """
 import argparse
 import json
@@ -113,6 +120,10 @@ def main():
     ap.add_argument("--allow-missing", action="store_true",
                     help="tolerate metric keys present in only one input "
                          "(use across intentional schema changes)")
+    ap.add_argument("--require", metavar="NAME1,NAME2",
+                    help="comma-separated benchmark names that must be "
+                         "present in both inputs (prefix match); missing "
+                         "ones are a hard failure even with --allow-missing")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -145,6 +156,27 @@ def main():
             print("\nsweep wall-clock: %.3fs -> %.3fs" % (bs, cs))
 
     status = 0
+    if args.require:
+        base_names = set(index_benchmarks(base)) | set(index_manifest(base))
+        cand_names = set(index_benchmarks(cand)) | set(index_manifest(cand))
+        unmet = []
+        for want in args.require.split(","):
+            want = want.strip()
+            if not want:
+                continue
+            for side, names in (("baseline", base_names),
+                                ("candidate", cand_names)):
+                if not any(n == want or n.startswith(want + "/")
+                           for n in names):
+                    unmet.append((want, side))
+        if unmet:
+            print("\nrequired benchmark(s) missing:")
+            for want, side in unmet:
+                print("  %s (absent from %s)" % (want, side))
+            print("this is a hard failure regardless of --allow-missing.")
+            return 1
+        print("\nrequired benchmarks present: %s" % args.require)
+
     if missing:
         print("\n%d key(s) present in only one input:" % len(missing))
         for kind, name, where in missing:

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Render a Fly-Over /heatmap document as terminal heatmaps.
+
+Usage:
+    curl -s http://127.0.0.1:8080/heatmap | scripts/render_heatmap.py
+    scripts/render_heatmap.py heatmap.json [--grid occupancy,avg_latency]
+    scripts/render_heatmap.py heatmap.json --no-color
+
+Reads a flyover-heatmap-v1 document (from the ops plane's /heatmap
+endpoint, or assembled from a /snapshot) and prints one grid per
+selected metric, node (0,0) top-left, x east, y south — the mesh
+orientation used throughout the docs.
+
+The mode grid is categorical (RouterMode): P=pipeline, b=bypass,
+p=parked, X=dead. The power_state grid is categorical too (HSC
+PowerState): A=active, d=draining, S=sleep, w=wakeup. Numeric grids
+(occupancy, queued, avg_latency, gated_cycles) are shaded on a
+per-grid scale with the cell value printed when it fits.
+
+No dependencies beyond the standard library; ANSI background colors are
+used when stdout is a TTY (disable with --no-color).
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "flyover-heatmap-v1"
+
+MODE_GLYPHS = {0: "P", 1: "b", 2: "p", 3: "X"}
+POWER_GLYPHS = {0: "A", 1: "d", 2: "S", 3: "w"}
+
+# Low -> high shade ramp (256-color background codes).
+RAMP = [236, 238, 240, 243, 246, 250, 178, 208, 202, 196]
+
+
+def shade(value, lo, hi, text, color):
+    if not color:
+        return text
+    if hi <= lo:
+        idx = 0
+    else:
+        idx = int((value - lo) / (hi - lo) * (len(RAMP) - 1) + 0.5)
+        idx = max(0, min(len(RAMP) - 1, idx))
+    fg = 16 if idx >= 5 else 255
+    return "\x1b[48;5;%dm\x1b[38;5;%dm%s\x1b[0m" % (RAMP[idx], fg, text)
+
+
+def render_categorical(grid, glyphs, color):
+    lines = []
+    for row in grid:
+        cells = []
+        for v in row:
+            g = glyphs.get(int(v), "?")
+            # Highlight anything that is not the "normal" first state.
+            cells.append(shade(1.0 if int(v) else 0.0, 0.0, 1.0,
+                               " %s " % g, color and int(v) != 0))
+        lines.append("".join(cells))
+    return lines
+
+
+def render_numeric(grid, color):
+    flat = [float(v) for row in grid for v in row]
+    lo, hi = min(flat), max(flat)
+    width = max(len(fmt_cell(v)) for v in flat)
+    lines = []
+    for row in grid:
+        cells = []
+        for v in row:
+            txt = fmt_cell(float(v)).rjust(width) + " "
+            cells.append(shade(float(v), lo, hi, txt, color))
+        lines.append("".join(cells))
+    return lines, lo, hi
+
+
+def fmt_cell(v):
+    if v == int(v) and abs(v) < 1e6:
+        return "%d" % int(v)
+    if abs(v) < 100:
+        return "%.1f" % v
+    return "%.3g" % v
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("file", nargs="?", help="heatmap JSON (default: stdin)")
+    ap.add_argument("--grid", metavar="NAME1,NAME2",
+                    help="comma-separated grids to render (default: all)")
+    ap.add_argument("--no-color", action="store_true",
+                    help="plain text output (also the default when stdout "
+                         "is not a TTY)")
+    args = ap.parse_args()
+
+    try:
+        if args.file:
+            with open(args.file) as f:
+                doc = json.load(f)
+        else:
+            doc = json.load(sys.stdin)
+    except (OSError, ValueError) as e:
+        print("render_heatmap: %s" % e, file=sys.stderr)
+        return 1
+
+    if doc.get("schema") != SCHEMA:
+        print("render_heatmap: schema is %r, want %r"
+              % (doc.get("schema"), SCHEMA), file=sys.stderr)
+        return 1
+
+    color = sys.stdout.isatty() and not args.no_color
+    grids = doc["grids"]
+    wanted = (args.grid.split(",") if args.grid else list(grids))
+    print("%s %dx%d @ cycle %d"
+          % (doc.get("scheme", "?"), doc["width"], doc["height"],
+             doc.get("cycle", 0)))
+    for name in wanted:
+        name = name.strip()
+        if name not in grids:
+            print("render_heatmap: no grid %r (have: %s)"
+                  % (name, ", ".join(sorted(grids))), file=sys.stderr)
+            return 1
+        grid = grids[name]
+        print()
+        if name == "mode":
+            print("mode (P=pipeline b=bypass p=parked X=dead):")
+            out = render_categorical(grid, MODE_GLYPHS, color)
+        elif name == "power_state":
+            print("power_state (A=active d=draining S=sleep w=wakeup):")
+            out = render_categorical(grid, POWER_GLYPHS, color)
+        else:
+            out, lo, hi = render_numeric(grid, color)
+            print("%s (min %s, max %s):" % (name, fmt_cell(lo),
+                                            fmt_cell(hi)))
+        for line in out:
+            print("  " + line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,9 +32,24 @@ configuration) recursively from both documents, then compares
 byte-for-byte. Exit 1 on any other difference: this is the
 serial-vs-parallel determinism gate, for both sweep-level (jobs=) and
 intra-run (threads= domain workers) parallelism.
+
+--snapshot: validates flyover-snapshot-v1 documents from the ops
+plane's /snapshot endpoint or an ops_stream= JSONL flight recording
+(auto-detected: one object, or one object per line). Checks the schema
+tag, required scalar fields, and — for run-mode snapshots — that every
+node array has exactly width*height entries. Also accepts
+flyover-heatmap-v1 documents from /heatmap (grid shape check).
+
+--prometheus: validates a Prometheus text-exposition (0.0.4) document
+from /metrics: every sample line parses as `name value`, every sample
+has a preceding # TYPE, and the core Fly-Over series (including
+flyover_latency_hist_overflow_total and
+flyover_hard_fault_incidents_total — the PR's incident surfacing) are
+present.
 """
 import argparse
 import json
+import re
 import sys
 
 VOLATILE_KEYS = {"wall_seconds", "jobs", "trace_path", "threads",
@@ -44,6 +59,19 @@ VOLATILE_KEYS = {"wall_seconds", "jobs", "trace_path", "threads",
 RUN_SCHEMA = "flyover-run-manifest-v1"
 SWEEP_SCHEMA = "flyover-sweep-manifest-v1"
 CERT_SCHEMA = "flyover-certificate-v1"
+SNAPSHOT_SCHEMA = "flyover-snapshot-v1"
+HEATMAP_SCHEMA = "flyover-heatmap-v1"
+
+# Series every /metrics exposition must carry (run or campaign mode).
+PROMETHEUS_REQUIRED = {
+    "flyover_snapshot_seq",
+    "flyover_progress_ratio",
+    "flyover_latency_hist_overflow_total",
+    "flyover_incidents_total",
+    "flyover_hard_fault_incidents_total",
+    "flyover_watchdog_stall_incidents_total",
+    "flyover_stalled",
+}
 
 STOP_REASONS = {"target_certified", "target_refuted", "half_width",
                 "max_replications"}
@@ -233,6 +261,145 @@ def validate_certificate(path, reference=None, expect_early_stop=False):
              round(doc["confidence"] * 100)))
 
 
+def validate_snapshot_doc(doc, where):
+    schema = doc.get("schema")
+    if schema == HEATMAP_SCHEMA:
+        for field in ("cycle", "scheme", "width", "height", "grids"):
+            if field not in doc:
+                fail("%s: missing field %r" % (where, field))
+        w, h = doc["width"], doc["height"]
+        grids = doc["grids"]
+        if not isinstance(grids, dict) or not grids:
+            fail("%s: grids is not a non-empty object" % where)
+        for name, grid in grids.items():
+            if len(grid) != h:
+                fail("%s: grid %r has %d rows, want height=%d"
+                     % (where, name, len(grid), h))
+            for y, row in enumerate(grid):
+                if len(row) != w:
+                    fail("%s: grid %r row %d has %d cols, want width=%d"
+                         % (where, name, y, len(row), w))
+        return "%s %dx%d, %d grid(s)" % (schema, w, h, len(grids))
+    if schema != SNAPSHOT_SCHEMA:
+        fail("%s: schema is %r, want %r or %r"
+             % (where, schema, SNAPSHOT_SCHEMA, HEATMAP_SCHEMA))
+    for field in ("seq", "cycle", "total_cycles", "scheme", "width",
+                  "height", "progress", "stalled", "globals", "incidents"):
+        if field not in doc:
+            fail("%s: missing field %r" % (where, field))
+    for field in ("injected_flits", "ejected_flits", "in_network_flits",
+                  "queued_packets", "gated_routers", "hist_overflow"):
+        if field not in doc["globals"]:
+            fail("%s: globals missing %r" % (where, field))
+    for field in ("total", "hard_fault_summary", "watchdog_stall"):
+        if field not in doc["incidents"]:
+            fail("%s: incidents missing %r" % (where, field))
+    if not 0.0 <= doc["progress"] <= 1.0 + 1e-9:
+        fail("%s: progress %r outside [0, 1]" % (where, doc["progress"]))
+    w, h = doc["width"], doc["height"]
+    if "campaign" in doc:
+        for field in ("points_done", "points_total", "checkpoint_path"):
+            if field not in doc["campaign"]:
+                fail("%s: campaign missing %r" % (where, field))
+        if doc["campaign"]["points_done"] > doc["campaign"]["points_total"]:
+            fail("%s: campaign points_done > points_total" % where)
+        return "%s campaign seq=%d %d/%d" % (
+            schema, doc["seq"], doc["campaign"]["points_done"],
+            doc["campaign"]["points_total"])
+    if w <= 0 or h <= 0:
+        fail("%s: run-mode snapshot with non-positive %dx%d mesh"
+             % (where, w, h))
+    if "nodes" not in doc:
+        fail("%s: run-mode snapshot missing 'nodes'" % where)
+    for name in ("mode", "power_state", "occupancy", "queued",
+                 "ejected_packets", "latency_sum", "gated_cycles"):
+        arr = doc["nodes"].get(name)
+        if arr is None:
+            fail("%s: nodes missing %r" % (where, name))
+        if len(arr) != w * h:
+            fail("%s: nodes.%s has %d entries, want width*height=%d"
+                 % (where, name, len(arr), w * h))
+    return "%s seq=%d cycle=%d %dx%d" % (schema, doc["seq"], doc["cycle"],
+                                         w, h)
+
+
+def validate_snapshot(path):
+    # Auto-detect: a single JSON document (from /snapshot or /heatmap) or
+    # an ops_stream= JSONL flight recording (one snapshot per line).
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        fail("%s: %s" % (path, e))
+    try:
+        docs = [json.loads(text)]
+    except ValueError:
+        docs = []
+        for i, line in enumerate(text.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                docs.append(json.loads(line))
+            except ValueError as e:
+                fail("%s: line %d: %s" % (path, i + 1, e))
+    if not docs:
+        fail("%s: no snapshot documents" % path)
+    last = None
+    prev_seq = 0
+    for i, doc in enumerate(docs):
+        last = validate_snapshot_doc(doc, "%s[%d]" % (path, i))
+        seq = doc.get("seq")
+        if seq is not None:
+            if seq <= prev_seq:
+                fail("%s[%d]: seq %d not increasing (previous %d)"
+                     % (path, i, seq, prev_seq))
+            prev_seq = seq
+    print("OK: %s: %d snapshot(s), last: %s" % (path, len(docs), last))
+
+
+PROM_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? "
+    r"(-?(?:[0-9.eE+-]+|NaN|Inf|\+Inf|-Inf))$")
+
+
+def validate_prometheus(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail("%s: %s" % (path, e))
+    typed = set()
+    seen = set()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                fail("%s: line %d: malformed TYPE comment: %r"
+                     % (path, i + 1, line))
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if not m:
+            fail("%s: line %d: not a valid sample line: %r"
+                 % (path, i + 1, line))
+        name = m.group(1)
+        if name not in typed:
+            fail("%s: line %d: sample %r has no preceding # TYPE"
+                 % (path, i + 1, name))
+        seen.add(name)
+        float(m.group(3).replace("+Inf", "inf").replace("-Inf", "-inf"))
+    absent = PROMETHEUS_REQUIRED - seen
+    if absent:
+        fail("%s: required series missing: %s" % (path, sorted(absent)))
+    print("OK: %s: %d series, all required Fly-Over series present"
+          % (path, len(seen)))
+
+
 def strip_volatile(node):
     if isinstance(node, dict):
         return {k: strip_volatile(v) for k, v in node.items()
@@ -304,12 +471,18 @@ def main():
     ap.add_argument("--expect-early-stop", action="store_true",
                     help="with --certificate: fail unless the sequential "
                          "rule resolved before the replication cap")
+    ap.add_argument("--snapshot", metavar="FILE",
+                    help="validate a flyover-snapshot-v1 / heatmap document "
+                         "or an ops_stream= JSONL recording")
+    ap.add_argument("--prometheus", metavar="FILE",
+                    help="validate a Prometheus text exposition from "
+                         "/metrics")
     args = ap.parse_args()
 
     if not (args.trace or args.manifest or args.diff_manifests
-            or args.certificate):
-        ap.error("nothing to do: pass --trace, --manifest, --certificate "
-                 "and/or --diff-manifests")
+            or args.certificate or args.snapshot or args.prometheus):
+        ap.error("nothing to do: pass --trace, --manifest, --certificate, "
+                 "--snapshot, --prometheus and/or --diff-manifests")
     if (args.reference or args.expect_early_stop) and not args.certificate:
         ap.error("--reference/--expect-early-stop require --certificate")
     if args.trace:
@@ -319,6 +492,10 @@ def main():
     if args.certificate:
         validate_certificate(args.certificate, reference=args.reference,
                              expect_early_stop=args.expect_early_stop)
+    if args.snapshot:
+        validate_snapshot(args.snapshot)
+    if args.prometheus:
+        validate_prometheus(args.prometheus)
     if args.diff_manifests:
         diff_manifests(*args.diff_manifests)
 

@@ -69,6 +69,7 @@ void FlovNetwork::step(Cycle now) {
   // min-front merge reproduces the exact order the serial schedule would
   // have issued them in. (Tile domains are not globally id-ordered, so
   // plain domain-order concatenation would reorder the trigger dedup.)
+  FLOV_PROFILE(kPower);  // scheme machinery: wakeup replay, fabric, HSCs
   if (!staged_wakeups_.empty()) {
     auto& pos = wakeup_merge_pos_;
     pos.assign(staged_wakeups_.size(), 0);

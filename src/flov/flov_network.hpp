@@ -46,6 +46,9 @@ class FlovNetwork final : public NocSystem {
   }
   Network& network() override { return *net_; }
   const Network& network() const override { return *net_; }
+  std::uint8_t power_state_code(NodeId node) const override {
+    return static_cast<std::uint8_t>(hscs_[node]->state());
+  }
   const char* name() const override {
     return mode_ == FlovMode::kRestricted ? "rFLOV" : "gFLOV";
   }

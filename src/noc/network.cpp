@@ -177,6 +177,9 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
           telemetry::Tracer* t = step_tracer_;
           telemetry::TraceScope scope(t ? t->shard(w + 1) : nullptr);
 #endif
+#if defined(FLYOVER_PROFILING) && FLYOVER_PROFILING
+          telemetry::ProfileScope pscope(step_profiler_, w + 1);
+#endif
           step_domain(w + 1, now);
         });
   }
@@ -207,6 +210,7 @@ void Network::step_domain(int dom, Cycle now) {
       if (r.quiescent()) router_live_.clear(id);
     }
   }
+  FLOV_PROFILE(kNi);  // covers the NI loop (the remainder of this domain)
   for (int y = rect.y0; y < rect.y1; ++y) {
     const NodeId row = y * params_.width;
     for (int x = rect.x0; x < rect.x1; ++x) {
@@ -258,6 +262,11 @@ void Network::step(Cycle now) {
     step_domain(0, now);
     return;
   }
+#if defined(FLYOVER_PROFILING) && FLYOVER_PROFILING
+  telemetry::PhaseProfiler* prof = telemetry::thread_profile_state().profiler;
+  if (prof != nullptr) prof->ensure_domains(num_domains_);
+  step_profiler_ = prof;  // published to workers by the pool's epoch fence
+#endif
 #if defined(FLYOVER_TRACING) && FLYOVER_TRACING
   telemetry::Tracer* parent = telemetry::thread_trace_state().tracer;
   if (parent != nullptr) parent->ensure_shards(num_domains_);
@@ -269,7 +278,10 @@ void Network::step(Cycle now) {
 #else
   pool_->run_cycle(now, [this, now] { step_domain(0, now); });
 #endif
-  merge_domains();
+  {
+    FLOV_PROFILE(kMerge);
+    merge_domains();
+  }
 }
 
 void Network::set_eject_callback(

@@ -33,6 +33,7 @@
 #include "noc/routing_iface.hpp"
 #include "noc/step_pool.hpp"
 #include "power/power_tracker.hpp"
+#include "telemetry/ops/profile.hpp"
 #include "telemetry/trace.hpp"
 
 namespace flov {
@@ -218,6 +219,12 @@ class Network {
   /// their domain's shard ring from it (published by the pool's epoch
   /// release/acquire pair).
   telemetry::Tracer* step_tracer_ = nullptr;
+#endif
+#if defined(FLYOVER_PROFILING) && FLYOVER_PROFILING
+  /// The run's phase profiler while a parallel step is in flight; workers
+  /// bind (profiler, their domain) so FLOV_PROFILE scopes attribute
+  /// per-domain (published by the pool's epoch release/acquire pair).
+  telemetry::PhaseProfiler* step_profiler_ = nullptr;
 #endif
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "telemetry/ops/profile.hpp"
 #include "telemetry/trace.hpp"
 
 namespace flov {
@@ -112,12 +113,24 @@ void Router::step(Cycle now) {
   }
   va_tick_from_ = now + 1;
 
-  accept_flits(now);
-  do_switch_traversal(now);
+  {
+    FLOV_PROFILE(kLink);
+    accept_flits(now);
+    do_switch_traversal(now);
+  }
   do_timeout_checks(now);
-  do_vc_allocation(now);
-  do_switch_allocation(now);
-  do_route_computation(now);
+  {
+    FLOV_PROFILE(kVcAlloc);
+    do_vc_allocation(now);
+  }
+  {
+    FLOV_PROFILE(kSwitchAlloc);
+    do_switch_allocation(now);
+  }
+  {
+    FLOV_PROFILE(kRoute);
+    do_route_computation(now);
+  }
 
   // Fail-functional death grace: once every in-progress worm has fully
   // passed (no resident flits, no staged traversals, no allocated output —

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "telemetry/ops/profile.hpp"
 
 namespace flov {
 
@@ -46,6 +47,10 @@ class StepPool {
     const std::uint64_t epoch =
         epoch_.fetch_add(1, std::memory_order_release) + 1;
     main_work();
+    // Barrier wait, attributed to the control thread's profile slot: the
+    // gap between its own domain finishing and the slowest worker's — the
+    // tiles= imbalance signal the profile report surfaces.
+    FLOV_PROFILE(kBarrier);
     for (std::size_t i = 0; i < threads_.size(); ++i) {
       wait_done(i, epoch);
     }

@@ -34,6 +34,14 @@ class NocSystem {
     return false;
   }
 
+  /// Numeric scheme power state of `node`'s router for observability
+  /// surfaces (the ops-plane snapshot grids). FLOV schemes report their
+  /// HSC PowerState; schemes without one report 0 (== kActive).
+  virtual std::uint8_t power_state_code(NodeId node) const {
+    (void)node;
+    return 0;
+  }
+
   virtual Network& network() = 0;
   virtual const Network& network() const = 0;
 

@@ -8,6 +8,7 @@
 #include "rp/rp_network.hpp"
 #include "sim/baseline_network.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/ops/ops_plane.hpp"
 #include "traffic/gating_scenario.hpp"
 #include "traffic/synthetic_traffic.hpp"
 #include "traffic/traffic_pattern.hpp"
@@ -269,6 +270,18 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
 
   const Cycle total = cfg.warmup + cfg.measure;
   const Cycle hard_cap = cfg.max_cycles_hard;
+  if (cfg.ops != nullptr) {
+    // Ops plane: read-only periodic snapshot folds. Registered last so its
+    // passive ejection observer cannot perturb any primary callback, and
+    // fed only accessors — it has no way to mutate the run.
+    ops::OpsPlane::RunContext octx;
+    octx.sys = &sys;
+    octx.scheme = sys.name();
+    octx.total_cycles = total;
+    octx.hist_overflow = [&stats] { return stats.hist_overflow(); };
+    octx.incidents = incidents.get();
+    cfg.ops->begin_run(octx);
+  }
   std::uint64_t last_ejected = 0;
   Cycle last_progress = 0;
   std::uint64_t recoveries = 0;
@@ -286,6 +299,7 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     traffic.step(now);
     sys.step(now);
     if (verifier) verifier->step(now);
+    if (cfg.ops != nullptr && cfg.ops->wants_tick(now)) cfg.ops->tick(now);
     if (now == cfg.warmup) built.power->begin_window(now);
     if (cfg.telemetry.metrics_window != 0 &&
         (now % cfg.telemetry.metrics_window) == 0) {
@@ -355,6 +369,7 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
       if (fully_drained(net)) break;
       sys.step(now);
       if (verifier) verifier->step(now);
+      if (cfg.ops != nullptr && cfg.ops->wants_tick(now)) cfg.ops->tick(now);
     }
     end_cycle = now;
     if (!aborted && now == drain_end && !fully_drained(net)) {
@@ -435,6 +450,11 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     r.verifier_checks = verifier->checks_run();
   }
   if (const TimeSeries* ts = stats.timeline()) r.timeline = ts->points();
+
+  // Final ops fold AFTER every end-of-run incident (hard_fault_summary,
+  // packet_dead, verifier final sweep) has been recorded, so the last
+  // published snapshot carries the complete incident counts.
+  if (cfg.ops != nullptr) cfg.ops->end_run(end_cycle);
 
   // Every subsystem registers its metrics under its own prefix; the
   // registry rides on the RunResult so sweeps can fold per-point

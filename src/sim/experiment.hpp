@@ -20,6 +20,10 @@
 #include "telemetry/trace.hpp"
 #include "verify/invariant_verifier.hpp"
 
+namespace flov::ops {
+class OpsPlane;
+}
+
 namespace flov {
 
 struct SyntheticExperimentConfig {
@@ -59,6 +63,11 @@ struct SyntheticExperimentConfig {
   VerifierOptions verifier;
   /// Telemetry: event-trace mask/capacity and metric-sampling window.
   telemetry::TelemetryOptions telemetry;
+  /// Live ops plane (borrowed; null = disabled, which costs one pointer
+  /// check per cycle). When set, run_synthetic publishes periodic
+  /// flyover-snapshot-v1 folds through it; nothing the ops plane does can
+  /// affect the run's results or its manifest.
+  ops::OpsPlane* ops = nullptr;
 };
 
 struct RunResult {

@@ -1,0 +1,227 @@
+#include "telemetry/ops/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace flov::ops {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+std::string render_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.0 " + std::to_string(r.status) + " " +
+                    status_text(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+/// One in-flight connection: read until the header terminator, write the
+/// response, close. Requests and responses are small (a snapshot JSON tops
+/// out well under a megabyte), so per-connection buffers are plain strings.
+struct Connection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool responding = false;
+};
+
+}  // namespace
+
+bool HttpServer::start(std::uint16_t port, Handler handler) {
+  if (fd_ >= 0) return false;
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("[ops] socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("[ops] bind");
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    std::perror("[ops] listen");
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    std::perror("[ops] pipe");
+    ::close(fd);
+    return false;
+  }
+  set_nonblocking(fd);
+  set_nonblocking(wake_pipe_[0]);
+
+  fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  thread_.join();
+  ::close(fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  fd_ = -1;
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpServer::serve_loop() {
+  std::vector<Connection> conns;
+  std::vector<pollfd> pfds;
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    pfds.push_back({fd_, POLLIN, 0});
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const Connection& c : conns) {
+      pfds.push_back(
+          {c.fd, static_cast<short>(c.responding ? POLLOUT : POLLIN), 0});
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), 500);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    // New connections.
+    if (pfds[0].revents & POLLIN) {
+      for (;;) {
+        const int cfd = ::accept(fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        set_nonblocking(cfd);
+        Connection c;
+        c.fd = cfd;
+        conns.push_back(std::move(c));
+      }
+      // conns changed shape; re-poll with the fresh fd set.
+      continue;
+    }
+
+    // Existing connections (pfds[i + 2] pairs with conns[i]).
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& c = conns[i];
+      const short rev = pfds[i + 2].revents;
+      if (rev & (POLLERR | POLLHUP | POLLNVAL)) {
+        ::close(c.fd);
+        c.fd = -1;
+        continue;
+      }
+      if (!c.responding && (rev & POLLIN)) {
+        char buf[4096];
+        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n <= 0) {
+          if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+            ::close(c.fd);
+            c.fd = -1;
+          }
+          continue;
+        }
+        c.in.append(buf, static_cast<std::size_t>(n));
+        const std::size_t hdr_end = c.in.find("\r\n\r\n");
+        if (hdr_end == std::string::npos) {
+          if (c.in.size() > 16384) {  // runaway header: drop
+            ::close(c.fd);
+            c.fd = -1;
+          }
+          continue;
+        }
+        // Request line: METHOD SP PATH SP VERSION
+        HttpResponse resp;
+        const std::size_t sp1 = c.in.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos
+                                     : c.in.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos ||
+            c.in.substr(0, sp1) != "GET") {
+          resp.status = 400;
+          resp.body = "{\"error\":\"bad request\"}";
+        } else {
+          std::string path = c.in.substr(sp1 + 1, sp2 - sp1 - 1);
+          const std::size_t q = path.find('?');
+          if (q != std::string::npos) path.resize(q);
+          resp = handler_(path);
+        }
+        c.out = render_response(resp);
+        c.out_pos = 0;
+        c.responding = true;
+      }
+      if (c.responding && (rev & POLLOUT || c.out_pos < c.out.size())) {
+        const ssize_t n = ::write(c.fd, c.out.data() + c.out_pos,
+                                  c.out.size() - c.out_pos);
+        if (n > 0) {
+          c.out_pos += static_cast<std::size_t>(n);
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          ::close(c.fd);
+          c.fd = -1;
+          continue;
+        }
+        if (c.out_pos >= c.out.size()) {
+          ::close(c.fd);
+          c.fd = -1;
+        }
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Connection& c) { return c.fd < 0; }),
+                conns.end());
+  }
+
+  for (Connection& c : conns) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+}
+
+}  // namespace flov::ops

@@ -1,0 +1,58 @@
+// Tiny embedded HTTP/1.0 server for the ops plane.
+//
+// Deliberately minimal: one background thread multiplexing a poll() loop
+// over the listen socket and a handful of short-lived connections, GET
+// only, Connection: close, bound to 127.0.0.1. It exists so a long run,
+// sweep, or certification campaign can be probed with curl — not to serve
+// the public internet. The handler receives only the request path and
+// returns a complete response; it runs on the server thread, so handlers
+// must touch nothing but immutable published snapshots (SnapshotPublisher)
+// — never live sim state. The sim thread itself never blocks on a socket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace flov::ops {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, see port()) and starts the
+  /// server thread. Returns false (with a perror) if the bind fails.
+  bool start(std::uint16_t port, Handler handler);
+
+  /// Signals the thread via the self-pipe and joins it. Idempotent.
+  void stop();
+
+  bool running() const { return fd_ >= 0; }
+  /// The actually-bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  int fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe to interrupt poll() on stop
+  std::uint16_t port_ = 0;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace flov::ops
