@@ -10,9 +10,12 @@
 //   * steady-state average latency for both.
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <optional>
 
 #include "bench_util.hpp"
 #include "flov/flov_network.hpp"
+#include "noc/ipc/shm_arena.hpp"
 #include "rp/rp_network.hpp"
 #include "traffic/gating_scenario.hpp"
 #include "traffic/synthetic_traffic.hpp"
@@ -54,6 +57,18 @@ Result drive(System& sys, const NocParams& p, Cycle change_at, Cycle total,
   return r;
 }
 
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::stoi(s.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,63 +78,77 @@ int main(int argc, char** argv) {
   const Cycle total = cfg.get_int("measure", 30000) + 10000;
   // threads= : per-run domain workers (noc.step_threads) for every cell.
   // tiles=TXxTY : explicit tile-domain grid (default: auto row bands).
+  // procs= : comma list of forked stepping-process counts; each value adds
+  //          a full row set (docs/PERFORMANCE.md, "Multi-process
+  //          stepping"). Default "1" — single-process, no arena.
   // Results are bit-identical at any value; only wall time changes.
   const int threads = static_cast<int>(cfg.get_int("threads", 1));
   const std::string tiles = cfg.get_string("tiles", "");
+  const std::vector<int> procs_list =
+      parse_int_list(cfg.get_string("procs", "1"));
+  const int nprocs = static_cast<int>(procs_list.size());
   // Budget the cell pool against the intra-run workers so the bench does
-  // not oversubscribe (jobs x threads ~ core count).
+  // not oversubscribe (jobs x procs x threads ~ core count).
+  const int max_procs =
+      *std::max_element(procs_list.begin(), procs_list.end());
   const int jobs = resolve_jobs(static_cast<int>(cfg.get_int("jobs", 0)),
-                                threads);
+                                threads, max_procs);
   ManifestSink sink(argc, argv, "bench_scalability");
 
   // sizes= : comma list of mesh edge lengths. The 32/64 rows are the
   // "interactive large mesh" cells the SoA hot path + tile domains target;
   // trim the list (sizes=4,8,12,16) for a quick look.
-  std::vector<int> sizes;
-  {
-    const std::string s = cfg.get_string("sizes", "4,8,12,16,32,64");
-    std::size_t pos = 0;
-    while (pos < s.size()) {
-      std::size_t comma = s.find(',', pos);
-      if (comma == std::string::npos) comma = s.size();
-      sizes.push_back(std::stoi(s.substr(pos, comma - pos)));
-      pos = comma + 1;
-    }
-  }
+  const std::vector<int> sizes =
+      parse_int_list(cfg.get_string("sizes", "4,8,12,16,32,64"));
   const int nsizes = static_cast<int>(sizes.size());
 
-  // One pooled task per (mesh size, system) cell; each builds and drives
-  // its own network end to end.
+  // One pooled task per (procs, mesh size, system) cell; each builds and
+  // drives its own network end to end. procs>1 cells heap-allocate the
+  // network under a shared-memory arena scope (the multi-process stepper
+  // forks workers that must share the network's pages) and tear the
+  // network down before the arena unmaps.
   struct Row {
     Result rp, gf;
     Cycle rp_reconfig = 0;
     double rp_wall = 0.0, gf_wall = 0.0;
   };
-  std::vector<Row> rows(sizes.size());
-  parallel_run(2 * nsizes, jobs, [&](int i) {
-    const int k = sizes[i / 2];
+  std::vector<Row> rows(static_cast<std::size_t>(nprocs * nsizes));
+  parallel_run(2 * nsizes * nprocs, jobs, [&](int i) {
+    const int cell = i / 2;
+    const int k = sizes[cell % nsizes];
+    const int procs = procs_list[cell / nsizes];
     NocParams p;
     p.width = k;
     p.height = k;
     p.step_threads = threads;
+    p.step_procs = procs;
     p.apply_tiles_shorthand(tiles);
+    std::shared_ptr<ipc::ShmArena> arena;
+    std::optional<ipc::ShmArenaScope> scope;
+    if (procs > 1) {
+      arena = ipc::ShmArena::create();
+      scope.emplace(arena.get());
+    }
     const auto start = std::chrono::steady_clock::now();
     if (i % 2 == 0) {
       // RP: Phase-I grows with the router count (route computation at the
       // FM plus per-router table distribution) — c1 + c2 * N.
       FabricManagerConfig fm;
       fm.phase1_latency = 400 + 5 * k * k;
-      RpNetwork rp(p, EnergyParams{}, fm);
-      rows[i / 2].rp = drive(rp, p, /*change_at=*/20000, total, 11);
-      rows[i / 2].rp_reconfig = rp.fabric_manager().last_reconfig_duration();
-      rows[i / 2].rp_wall =
+      auto rp = std::make_unique<RpNetwork>(p, EnergyParams{}, fm);
+      rows[cell].rp = drive(*rp, p, /*change_at=*/20000, total, 11);
+      rows[cell].rp_reconfig = rp->fabric_manager().last_reconfig_duration();
+      rp.reset();  // join worker procs before the arena unmaps
+      rows[cell].rp_wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
     } else {
-      FlovNetwork gf(p, FlovMode::kGeneralized, EnergyParams{});
-      rows[i / 2].gf = drive(gf, p, 20000, total, 11);
-      rows[i / 2].gf_wall =
+      auto gf = std::make_unique<FlovNetwork>(p, FlovMode::kGeneralized,
+                                              EnergyParams{});
+      rows[cell].gf = drive(*gf, p, 20000, total, 11);
+      gf.reset();
+      rows[cell].gf_wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
@@ -131,56 +160,65 @@ int main(int argc, char** argv) {
       "centralized RP");
   std::printf("(step threads per run: %d, tiles: %s)\n", threads,
               tiles.empty() ? "auto" : tiles.c_str());
-  std::printf("%-8s | %12s %12s %14s %9s | %12s %12s %9s\n", "mesh",
-              "RP latency", "RP peak", "RP reconfig", "RP wall", "gFLOV lat",
-              "gFLOV peak", "gF wall");
+  std::printf("%-8s %5s | %12s %12s %14s %9s | %12s %12s %9s\n", "mesh",
+              "procs", "RP latency", "RP peak", "RP reconfig", "RP wall",
+              "gFLOV lat", "gFLOV peak", "gF wall");
 
-  for (int i = 0; i < nsizes; ++i) {
-    const int k = sizes[i];
-    std::printf("%-8s | %12.2f %12.2f %14llu %8.2fs | %12.2f %12.2f %8.2fs\n",
-                (std::to_string(k) + "x" + std::to_string(k)).c_str(),
-                rows[i].rp.avg_latency, rows[i].rp.peak_window,
-                static_cast<unsigned long long>(rows[i].rp_reconfig),
-                rows[i].rp_wall, rows[i].gf.avg_latency,
-                rows[i].gf.peak_window, rows[i].gf_wall);
+  for (int pi = 0; pi < nprocs; ++pi) {
+    for (int i = 0; i < nsizes; ++i) {
+      const Row& row = rows[static_cast<std::size_t>(pi * nsizes + i)];
+      const int k = sizes[i];
+      std::printf(
+          "%-8s %5d | %12.2f %12.2f %14llu %8.2fs | %12.2f %12.2f %8.2fs\n",
+          (std::to_string(k) + "x" + std::to_string(k)).c_str(),
+          procs_list[pi], row.rp.avg_latency, row.rp.peak_window,
+          static_cast<unsigned long long>(row.rp_reconfig), row.rp_wall,
+          row.gf.avg_latency, row.gf.peak_window, row.gf_wall);
+    }
   }
   std::printf("\nRP's stall (and the latency spike behind it) grows with the "
               "mesh; gFLOV's distributed handshake does not.\n");
 
   if (sink.enabled()) {
-    // Reuse the sweep-manifest shape: one point per (mesh, scheme) cell,
-    // with the bench figures as per-point gauges (wall_seconds included —
-    // this artifact records performance, it is not a determinism gate).
+    // Reuse the sweep-manifest shape: one point per (procs, mesh, scheme)
+    // cell, with the bench figures as per-point gauges (wall_seconds
+    // included — this artifact records performance, it is not a
+    // determinism gate).
     std::vector<SyntheticExperimentConfig> points;
     std::vector<RunResult> results;
-    for (int i = 0; i < nsizes; ++i) {
-      for (int s = 0; s < 2; ++s) {
-        SyntheticExperimentConfig ex;
-        ex.noc.width = sizes[i];
-        ex.noc.height = sizes[i];
-        ex.noc.step_threads = threads;
-        ex.noc.apply_tiles_shorthand(tiles);
-        ex.pattern = "uniform";
-        ex.inj_rate_flits = 0.02;
-        ex.seed = 11;
-        points.push_back(ex);
-        RunResult r;
-        const Result& res = s == 0 ? rows[i].rp : rows[i].gf;
-        r.scheme = s == 0 ? "RP" : "gFLOV";
-        r.avg_latency = res.avg_latency;
-        r.metrics = std::make_shared<telemetry::MetricsRegistry>();
-        r.metrics->gauge("bench.avg_latency") = res.avg_latency;
-        r.metrics->gauge("bench.peak_window") = res.peak_window;
-        r.metrics->gauge("bench.step_threads") = threads;
-        r.metrics->gauge("bench.step_tiles_x") = ex.noc.step_tiles_x;
-        r.metrics->gauge("bench.step_tiles_y") = ex.noc.step_tiles_y;
-        r.metrics->gauge("bench.wall_seconds") =
-            s == 0 ? rows[i].rp_wall : rows[i].gf_wall;
-        if (s == 0) {
-          r.metrics->gauge("bench.rp_reconfig_cycles") =
-              static_cast<double>(rows[i].rp_reconfig);
+    for (int pi = 0; pi < nprocs; ++pi) {
+      for (int i = 0; i < nsizes; ++i) {
+        const Row& row = rows[static_cast<std::size_t>(pi * nsizes + i)];
+        for (int s = 0; s < 2; ++s) {
+          SyntheticExperimentConfig ex;
+          ex.noc.width = sizes[i];
+          ex.noc.height = sizes[i];
+          ex.noc.step_threads = threads;
+          ex.noc.step_procs = procs_list[pi];
+          ex.noc.apply_tiles_shorthand(tiles);
+          ex.pattern = "uniform";
+          ex.inj_rate_flits = 0.02;
+          ex.seed = 11;
+          points.push_back(ex);
+          RunResult r;
+          const Result& res = s == 0 ? row.rp : row.gf;
+          r.scheme = s == 0 ? "RP" : "gFLOV";
+          r.avg_latency = res.avg_latency;
+          r.metrics = std::make_shared<telemetry::MetricsRegistry>();
+          r.metrics->gauge("bench.avg_latency") = res.avg_latency;
+          r.metrics->gauge("bench.peak_window") = res.peak_window;
+          r.metrics->gauge("bench.step_threads") = threads;
+          r.metrics->gauge("bench.step_procs") = procs_list[pi];
+          r.metrics->gauge("bench.step_tiles_x") = ex.noc.step_tiles_x;
+          r.metrics->gauge("bench.step_tiles_y") = ex.noc.step_tiles_y;
+          r.metrics->gauge("bench.wall_seconds") =
+              s == 0 ? row.rp_wall : row.gf_wall;
+          if (s == 0) {
+            r.metrics->gauge("bench.rp_reconfig_cycles") =
+                static_cast<double>(row.rp_reconfig);
+          }
+          results.push_back(std::move(r));
         }
-        results.push_back(std::move(r));
       }
     }
     SweepOptions so;

@@ -17,7 +17,7 @@
 //
 // Keys:
 //   scheme= pattern= inj= gated= k= warmup= cycles= drain=
-//   sim.max_cycles_hard= threads= plus any noc.*/energy.*/fault.*/
+//   sim.max_cycles_hard= threads= procs= plus any noc.*/energy.*/fault.*/
 //   verify.*/telemetry.* key (noc.reliable defaults ON here: delivery
 //   certification needs the packet accounting).
 //   metric=delivery|clean_delivery|run_survival confidence=0.95
@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
   if (!cfg.has("noc.reliable")) base.noc.reliable = true;
   base.noc.step_threads =
       static_cast<int>(cfg.get_int("threads", base.noc.step_threads));
+  base.noc.step_procs =
+      static_cast<int>(cfg.get_int("procs", base.noc.step_procs));
   base.noc.apply_tiles_shorthand(cfg.get_string("tiles", ""));
   if (cfg.has("k")) {
     base.noc.width = static_cast<int>(cfg.get_int("k"));

@@ -36,6 +36,10 @@ void print_usage() {
       "  tiles=<TX>x<TY>                  explicit tile-domain grid, e.g.\n"
       "                                   tiles=2x4 (volatile; default "
       "auto)\n"
+      "  procs=<n>                        forked stepping processes over a\n"
+      "                                   shared-memory barrier (volatile;\n"
+      "                                   each runs threads= workers; exit\n"
+      "                                   code 3 if a worker dies mid-run)\n"
       "\n"
       "Simulation bounds (PROTOCOL.md \xc2\xa7" "8):\n"
       "  drain=<cycles>             post-run drain budget: keep stepping\n"
@@ -107,11 +111,13 @@ int main(int argc, char** argv) {
   SyntheticExperimentConfig ex;
   ex.noc = NocParams::from_config(cfg);
   // threads= is shorthand for noc.step_threads=, tiles=TXxTY for
-  // noc.step_tiles_x/y= (intra-run domain workers / explicit tile grid;
+  // noc.step_tiles_x/y=, procs= for noc.step_procs= (intra-run domain
+  // workers / explicit tile grid / forked stepping processes;
   // bit-identical results at any value — see docs/PERFORMANCE.md).
   ex.noc.step_threads =
       static_cast<int>(cfg.get_int("threads", ex.noc.step_threads));
   ex.noc.apply_tiles_shorthand(cfg.get_string("tiles", ""));
+  ex.noc.step_procs = static_cast<int>(cfg.get_int("procs", ex.noc.step_procs));
   ex.energy = EnergyParams::from_config(cfg);
   ex.scheme = scheme_from_string(cfg.get_string("scheme", "gflov"));
   ex.pattern = cfg.get_string("pattern", "uniform");
@@ -229,7 +235,11 @@ int main(int argc, char** argv) {
                 r.dead_routers, r.dead_links,
                 static_cast<unsigned long long>(r.wake_requests_dropped));
   }
-  if (r.aborted) {
+  if (r.worker_lost) {
+    std::printf("ABORTED at cycle %llu (stepping worker process died; see "
+                "the worker_lost incident); stats are partial\n",
+                static_cast<unsigned long long>(r.cycles_run));
+  } else if (r.aborted) {
     std::printf("ABORTED at cycle %llu (sim.max_cycles_hard); stats are "
                 "partial\n",
                 static_cast<unsigned long long>(r.cycles_run));
@@ -293,5 +303,10 @@ int main(int argc, char** argv) {
     m.write(manifest_out);
     std::printf("manifest: %s\n", manifest_out.c_str());
   }
+  // A stepping worker process dying mid-run is an infrastructure failure,
+  // not a simulation result: the stats above are partial and the manifest
+  // (if any) records the worker_lost incident. Distinct exit code so
+  // sweeping scripts can tell it from a clean run (0) or a usage error.
+  if (r.worker_lost) return 3;
   return 0;
 }

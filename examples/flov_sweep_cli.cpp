@@ -21,7 +21,7 @@
 //                                      from S via derive_replication_seed
 //                                      (overrides seeds=; what the certify
 //                                      harness builds on)
-//   warmup= cycles= timeline= drain= sim.max_cycles_hard= threads=
+//   warmup= cycles= timeline= drain= sim.max_cycles_hard= threads= procs=
 //   jobs=N retries=N retry_backoff_ms=N checkpoint=path resume=0|1
 //   manifest=path                      flyover-sweep-manifest-v1
 //   progress=1                         deterministic stderr progress lines
@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
   base.noc = NocParams::from_config(cfg);
   base.noc.step_threads =
       static_cast<int>(cfg.get_int("threads", base.noc.step_threads));
+  base.noc.step_procs =
+      static_cast<int>(cfg.get_int("procs", base.noc.step_procs));
   base.noc.apply_tiles_shorthand(cfg.get_string("tiles", ""));
   base.energy = EnergyParams::from_config(cfg);
   base.warmup = cfg.get_int("warmup", 10000);

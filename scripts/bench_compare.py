@@ -25,7 +25,8 @@ schema change.
 
 --require NAME1,NAME2 asserts that each listed benchmark is present in
 BOTH inputs (prefix match, so "BM_GFlovCycle" covers
-"BM_GFlovCycle/gate_pct:40") and was compared. A missing required
+"BM_GFlovCycle/gate_pct:40" and "bench.wall_seconds" covers the merged
+stat "bench.wall_seconds.mean") and was compared. A missing required
 benchmark is a hard failure even under --allow-missing: the hot-path
 benches the ops plane must not slow down (BM_NetworkCycle,
 BM_GFlovCycle) cannot silently fall out of the comparison.
@@ -167,6 +168,7 @@ def main():
             for side, names in (("baseline", base_names),
                                 ("candidate", cand_names)):
                 if not any(n == want or n.startswith(want + "/")
+                           or n.startswith(want + ".")
                            for n in names):
                     unmet.append((want, side))
         if unmet:

@@ -25,13 +25,14 @@ must not fall below the checked-in floor. With --expect-early-stop,
 fails unless the sequential rule resolved before the replication cap.
 
 --diff-manifests: strips the VOLATILE fields (wall_seconds, jobs,
-trace_path, threads/tiles, noc.step_threads, noc.step_tiles_x/y —
-the only fields allowed to
+trace_path, threads/tiles/procs, noc.step_threads, noc.step_tiles_x/y,
+noc.step_procs — the only fields allowed to
 differ between a serial and a parallel run/sweep of the same
 configuration) recursively from both documents, then compares
 byte-for-byte. Exit 1 on any other difference: this is the
-serial-vs-parallel determinism gate, for both sweep-level (jobs=) and
-intra-run (threads= domain workers) parallelism.
+serial-vs-parallel determinism gate, for sweep-level (jobs=),
+intra-run (threads= domain workers) and multi-process (procs= forked
+stepping workers) parallelism.
 
 --snapshot: validates flyover-snapshot-v1 documents from the ops
 plane's /snapshot endpoint or an ops_stream= JSONL flight recording
@@ -54,7 +55,7 @@ import sys
 
 VOLATILE_KEYS = {"wall_seconds", "jobs", "trace_path", "threads",
                  "noc.step_threads", "tiles", "noc.step_tiles_x",
-                 "noc.step_tiles_y"}
+                 "noc.step_tiles_y", "procs", "noc.step_procs"}
 
 RUN_SCHEMA = "flyover-run-manifest-v1"
 SWEEP_SCHEMA = "flyover-sweep-manifest-v1"

@@ -1,0 +1,113 @@
+// Futex primitives for the multi-process stepping transport.
+//
+// Everything in src/noc/ipc/ synchronizes across PROCESSES, not threads, so
+// the usual std::mutex/condition_variable toolbox is off the table (glibc's
+// default pthread objects are process-private). The portable POSIX answer
+// is pthread_mutexattr_setpshared, but that drags robust-mutex semantics
+// and priority-inheritance baggage into a hot per-cycle path; a raw Linux
+// futex on a 32-bit word in the shared mapping is smaller, dependency-free
+// and exactly as strong as the memory-model contract StepPool already
+// documents (release on publish, acquire on observe).
+//
+// Deliberately NOT using FUTEX_PRIVATE_FLAG anywhere: the private variant
+// skips the cross-process hash, which is precisely the part we need.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace flov::ipc {
+
+#if defined(__linux__)
+
+inline long futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expect,
+                       const struct timespec* timeout = nullptr) {
+  return ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+                   FUTEX_WAIT, expect, timeout, nullptr, 0);
+}
+
+inline long futex_wake(std::atomic<std::uint32_t>* addr, int nwaiters) {
+  return ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+                   FUTEX_WAKE, nwaiters, nullptr, nullptr, 0);
+}
+
+#else
+
+// Non-Linux fallback: compile, but never park. ShmArena::create refuses to
+// run on non-Linux hosts (see shm_arena.cpp), so these spins are only ever
+// reachable from unit tests of the lock itself.
+inline long futex_wait(std::atomic<std::uint32_t>*, std::uint32_t,
+                       const void* = nullptr) {
+  return 0;
+}
+inline long futex_wake(std::atomic<std::uint32_t>*, int) { return 0; }
+
+#endif
+
+/// Drepper-style three-state futex mutex (0 free / 1 locked / 2 locked with
+/// waiters), usable from any process mapping the word. Guards the arena
+/// allocator's free lists — a cold-ish path (the per-cycle stepping loop is
+/// allocation-free once staging vectors reach steady-state capacity), so a
+/// single lock for the whole arena is plenty.
+class FutexLock {
+ public:
+  void lock() {
+    std::uint32_t c = 0;
+    if (v_.compare_exchange_strong(c, 1, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+    // Short spin first: allocator critical sections are a handful of loads
+    // and stores, so the holder is usually gone before we would park.
+    for (int spin = 0; spin < 128; ++spin) {
+      c = 0;
+      if (v_.compare_exchange_weak(c, 1, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    do {
+      // Mark contended (1 -> 2) and park. If the word is 0 the cmpxchg
+      // fails without storing and we skip straight to the acquisition
+      // attempt below; a stale expect value just makes futex_wait return
+      // EAGAIN immediately.
+      std::uint32_t one = 1;
+      if (c == 2 || v_.compare_exchange_strong(one, 2,
+                                               std::memory_order_relaxed) ||
+          one == 2) {
+        futex_wait(&v_, 2);
+      }
+      c = 0;
+    } while (!v_.compare_exchange_strong(c, 2, std::memory_order_acquire,
+                                         std::memory_order_relaxed));
+  }
+
+  void unlock() {
+    if (v_.exchange(0, std::memory_order_release) == 2) {
+      futex_wake(&v_, 1);
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> v_{0};
+};
+
+class FutexLockGuard {
+ public:
+  explicit FutexLockGuard(FutexLock& l) : l_(l) { l_.lock(); }
+  ~FutexLockGuard() { l_.unlock(); }
+  FutexLockGuard(const FutexLockGuard&) = delete;
+  FutexLockGuard& operator=(const FutexLockGuard&) = delete;
+
+ private:
+  FutexLock& l_;
+};
+
+}  // namespace flov::ipc

@@ -1,0 +1,258 @@
+#include "noc/ipc/proc_pool.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/prctl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+#include "common/log.hpp"
+#include "noc/ipc/futex.hpp"
+#include "noc/ipc/shm_arena.hpp"
+#include "telemetry/trace.hpp"
+
+namespace flov::ipc {
+
+namespace {
+
+/// Children spin only briefly before parking on the epoch futex. The spin
+/// count is deliberately tiny compared to StepPool's: worker PROCESSES
+/// compete with the parent for cores (they are not a thread pool the OS
+/// can gang-schedule), and on a loaded or single-core host a spinning
+/// child starves exactly the process it is waiting for.
+constexpr int kChildSpin = 64;
+constexpr int kParentSpin = 4096;
+
+std::uint64_t mono_ns() {
+#if defined(__linux__)
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+/// Wrap-safe "done has reached epoch" (epochs are 32-bit futex words).
+bool reached(std::uint32_t done, std::uint32_t epoch) {
+  return static_cast<std::int32_t>(done - epoch) >= 0;
+}
+
+}  // namespace
+
+ProcPool::ProcPool(int workers, std::function<void(int, Cycle)> job)
+    : job_(std::move(job)), workers_(workers) {
+  FLOV_CHECK(workers_ >= 1, "ProcPool needs at least one worker");
+  ShmArena* arena = thread_arena();
+  FLOV_CHECK(arena != nullptr,
+             "ProcPool requires a bound shared arena (noc.step_procs > 1 "
+             "must allocate the system inside ShmArenaScope)");
+  // One arena block: the control header followed by the per-worker cells
+  // (Ctl is cache-line sized/aligned, so the cells stay 64-aligned).
+  void* mem = arena->allocate(
+      sizeof(Ctl) + static_cast<std::size_t>(workers_) * sizeof(WorkerCell),
+      64);
+  ctl_ = new (mem) Ctl();
+  cells_ = reinterpret_cast<WorkerCell*>(static_cast<unsigned char*>(mem) +
+                                         sizeof(Ctl));
+  for (int i = 0; i < workers_; ++i) new (&cells_[i]) WorkerCell();
+
+  folded_busy_.reset(new std::atomic<std::uint64_t>[workers_ + 1]);
+  for (int i = 0; i <= workers_; ++i) {
+    folded_busy_[i].store(0, std::memory_order_relaxed);
+  }
+
+  if (const char* env = std::getenv("FLYOVER_TEST_KILL_WORKER")) {
+    // "index:epoch" — worker `index` exits with code 42 at the start of
+    // `epoch` (1-based, matching run_cycle's post-increment value).
+    int idx = -1;
+    unsigned long ep = 0;
+    if (std::sscanf(env, "%d:%lu", &idx, &ep) == 2) {
+      kill_worker_ = idx;
+      kill_epoch_ = static_cast<std::uint32_t>(ep);
+    }
+  }
+
+#if defined(__linux__)
+  pids_.reserve(static_cast<std::size_t>(workers_));
+  reaped_.assign(static_cast<std::size_t>(workers_), false);
+  for (int i = 0; i < workers_; ++i) {
+    const pid_t pid = ::fork();
+    FLOV_CHECK(pid >= 0, "fork of a stepping worker failed");
+    if (pid == 0) child_loop(i);
+    pids_.push_back(pid);
+  }
+#else
+  FLOV_CHECK(false,
+             "multi-process stepping (noc.step_procs > 1) is Linux-only");
+#endif
+}
+
+ProcPool::~ProcPool() {
+#if defined(__linux__)
+  ctl_->stop.store(1, std::memory_order_seq_cst);
+  ctl_->epoch.fetch_add(1, std::memory_order_seq_cst);
+  wake_workers();
+  for (int i = 0; i < workers_; ++i) {
+    if (reaped_[static_cast<std::size_t>(i)]) continue;
+    int st = 0;
+    ::waitpid(static_cast<pid_t>(pids_[static_cast<std::size_t>(i)]), &st, 0);
+  }
+#endif
+  // The Ctl/cells block is arena memory; freeing it is optional (the arena
+  // unmaps wholesale) but keeps long sweeps from leaking a block per point.
+  if (ShmArena* a = arena_of(ctl_)) {
+    a->deallocate(ctl_);
+  }
+}
+
+void ProcPool::wake_workers() {
+  futex_wake(&ctl_->epoch, workers_);
+}
+
+void ProcPool::check_children(std::uint32_t epoch) {
+#if defined(__linux__)
+  for (int i = 0; i < workers_; ++i) {
+    if (reaped_[static_cast<std::size_t>(i)]) continue;
+    int st = 0;
+    const pid_t r = ::waitpid(
+        static_cast<pid_t>(pids_[static_cast<std::size_t>(i)]), &st, WNOHANG);
+    if (r > 0) {
+      reaped_[static_cast<std::size_t>(i)] = true;
+      std::string what = "stepping worker " + std::to_string(i) +
+                         " (proc " + std::to_string(i + 1) + ") ";
+      if (WIFSIGNALED(st)) {
+        what += "killed by signal " + std::to_string(WTERMSIG(st));
+      } else {
+        what += "exited with status " + std::to_string(WEXITSTATUS(st));
+      }
+      what += " before finishing cycle epoch " + std::to_string(epoch);
+      throw WorkerLost(i, st, what);
+    }
+  }
+#else
+  (void)epoch;
+#endif
+}
+
+void ProcPool::wait_done(int i, std::uint32_t epoch) {
+  WorkerCell& cell = cells_[i];
+  for (;;) {
+    for (int spin = 0; spin < kParentSpin; ++spin) {
+      if (reached(cell.done.load(std::memory_order_acquire), epoch)) return;
+    }
+    // Park on the done word. The waiting flag tells the child a wake is
+    // wanted; the Dekker-shaped store-then-load pair runs seq_cst on both
+    // sides, and the bounded wait plus the waitpid sweep mean even a lost
+    // wake or a dead child costs one timeout, never a hang.
+    cell.parent_waiting.store(1, std::memory_order_seq_cst);
+    const std::uint32_t d = cell.done.load(std::memory_order_seq_cst);
+    if (reached(d, epoch)) {
+      cell.parent_waiting.store(0, std::memory_order_relaxed);
+      return;
+    }
+#if defined(__linux__)
+    struct timespec ts {0, 20 * 1000 * 1000};
+    futex_wait(&cell.done, d, &ts);
+#endif
+    cell.parent_waiting.store(0, std::memory_order_relaxed);
+    check_children(epoch);
+  }
+}
+
+void ProcPool::fold_status() {
+  WorkerEvent ev;
+  for (int i = 0; i < workers_; ++i) {
+    while (cells_[i].ring.try_pop(&ev)) {
+      folded_busy_[i + 1].fetch_add(ev.busy_ns, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<std::uint64_t> ProcPool::busy_ns() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(workers_) + 1);
+  for (int i = 0; i <= workers_; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        folded_busy_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double ProcPool::busy_imbalance() const {
+  std::uint64_t lo = 0, hi = 0;
+  for (int i = 0; i <= workers_; ++i) {
+    const std::uint64_t b = folded_busy_[i].load(std::memory_order_relaxed);
+    if (b == 0) continue;
+    if (lo == 0 || b < lo) lo = b;
+    if (b > hi) hi = b;
+  }
+  if (lo == 0) return 1.0;
+  return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+void ProcPool::child_loop(int index) {
+#if defined(__linux__)
+  // Die with the parent rather than orphan-spinning on a dead barrier.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  // fork() copied the parent thread's TLS, including any bound profiler /
+  // tracer — parent-private heap objects this child must never write to
+  // (a stale copy-on-write snapshot at best, out-of-range after the
+  // parent grows them at worst). Children step silently; their busy time
+  // travels through the status ring instead.
+  telemetry::thread_profile_state() = telemetry::ThreadProfileState{};
+#if defined(FLYOVER_TRACING) && FLYOVER_TRACING
+  telemetry::thread_trace_state() = telemetry::ThreadTraceState{};
+#endif
+  WorkerCell& cell = cells_[index];
+  std::uint32_t seen = 0;
+  std::uint64_t pending_busy = 0;
+  for (;;) {
+    std::uint32_t e = ctl_->epoch.load(std::memory_order_acquire);
+    while (e == seen) {
+      for (int spin = 0; spin < kChildSpin && e == seen; ++spin) {
+        e = ctl_->epoch.load(std::memory_order_acquire);
+      }
+      if (e != seen) break;
+      ctl_->sleepers.fetch_add(1, std::memory_order_seq_cst);
+      e = ctl_->epoch.load(std::memory_order_seq_cst);
+      if (e == seen) {
+        // Bounded so a lost wake degrades to a 50ms hiccup, not a hang.
+        struct timespec ts {0, 50 * 1000 * 1000};
+        futex_wait(&ctl_->epoch, seen, &ts);
+        e = ctl_->epoch.load(std::memory_order_acquire);
+      }
+      ctl_->sleepers.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    seen = e;
+    if (ctl_->stop.load(std::memory_order_seq_cst) != 0) {
+      // _Exit: never run destructors on inherited parent state (and leave
+      // the child's private StepPool threads to the kernel).
+      std::_Exit(0);
+    }
+    if (index == kill_worker_ && seen == kill_epoch_) std::_Exit(42);
+    const std::uint64_t t0 = mono_ns();
+    job_(index, ctl_->now);
+    pending_busy += mono_ns() - t0;
+    WorkerEvent ev{seen, 0, pending_busy};
+    if (cell.ring.try_push(ev)) pending_busy = 0;  // else coalesce next epoch
+    cell.done.store(seen, std::memory_order_seq_cst);
+    if (cell.parent_waiting.load(std::memory_order_seq_cst) != 0) {
+      futex_wake(&cell.done, 1);
+    }
+  }
+#else
+  (void)index;
+  std::_Exit(1);
+#endif
+}
+
+}  // namespace flov::ipc

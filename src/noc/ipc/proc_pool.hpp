@@ -1,0 +1,155 @@
+// Fork-based process pool for multi-process cycle stepping.
+//
+// Mirrors StepPool one level up: Network partitions its tile domains into
+// `procs` contiguous ranges, the parent keeps range 0 (stepping it with its
+// own StepPool as before) and each forked worker process steps one of the
+// remaining ranges with a process-private StepPool of its own. Because the
+// whole system lives in the shared arena (shm_arena.hpp), a worker's writes
+// are the SAME bytes the parent merges at the barrier — the per-cycle
+// protocol is just the StepPool epoch/done handshake re-expressed over
+// futexes so it works across address spaces:
+//
+//   parent: publish now_, epoch.fetch_add (release) ... wake sleepers
+//   child : epoch load (acquire) observes the bump and everything the
+//           parent merged last cycle; steps its domains; done.store
+//           (release) publishes its staged sends back; parent's done load
+//           (acquire) completes the chain before it merges.
+//
+// The parent also polls waitpid(WNOHANG) while waiting, so a worker that
+// dies (OOM kill, crash, the FLYOVER_TEST_KILL_WORKER test hook) surfaces
+// as a thrown WorkerLost instead of a hung barrier; run_synthetic converts
+// that into a `worker_lost` incident and a clean abort.
+//
+// Children are pure stepping engines: they never touch the tracer,
+// profiler, metrics or ops plane (all parent-private malloc memory that is
+// stale copy-on-write garbage in the child), and they leave via _Exit so no
+// destructor ever runs on inherited parent state. Their only telemetry is
+// the per-epoch busy-time record pushed through a lossy-by-coalescing SPSC
+// ring, which the parent folds into proc_busy_ns / proc_busy_imbalance.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/ipc/spsc_ring.hpp"
+#include "telemetry/ops/profile.hpp"
+
+namespace flov::ipc {
+
+/// Thrown by ProcPool::run_cycle when a worker process exits instead of
+/// reaching the barrier. Deliberately an exception, not FLOV_CHECK: losing
+/// a worker is a reportable run outcome (worker_lost incident, exit code
+/// 3), not a programming error worth aborting the parent over.
+class WorkerLost : public std::runtime_error {
+ public:
+  WorkerLost(int worker, int status, const std::string& what)
+      : std::runtime_error(what), worker_(worker), status_(status) {}
+  /// 0-based index of the lost worker (proc worker + 1 stepped its range).
+  int worker() const { return worker_; }
+  /// Raw waitpid status of the dead child.
+  int status() const { return status_; }
+
+ private:
+  int worker_;
+  int status_;
+};
+
+class ProcPool {
+ public:
+  /// Forks `workers` child processes; each epoch, worker i runs
+  /// job(i, cycle) in its own process. Must be called with a shared arena
+  /// bound (thread_arena() != nullptr) and with `job` plus everything it
+  /// touches living in that arena — fork() inherits the calling thread's
+  /// arena binding, so children allocate/free coherently too.
+  ProcPool(int workers, std::function<void(int, Cycle)> job);
+  ~ProcPool();
+
+  ProcPool(const ProcPool&) = delete;
+  ProcPool& operator=(const ProcPool&) = delete;
+
+  int workers() const { return workers_; }
+
+  /// Runs one epoch: releases every worker with cycle `now`, runs
+  /// `main_work` (the parent's own domain range) on the calling thread,
+  /// then waits for all workers. Throws WorkerLost if a child dies before
+  /// finishing the epoch.
+  template <typename F>
+  void run_cycle(Cycle now, F&& main_work) {
+    ctl_->now = now;
+    const std::uint32_t epoch =
+        ctl_->epoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+    if (ctl_->sleepers.load(std::memory_order_seq_cst) != 0) {
+      wake_workers();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    main_work();
+    const auto t1 = std::chrono::steady_clock::now();
+    folded_busy_[0].fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
+    // The parent-side barrier: the gap between its own range finishing and
+    // the slowest worker process — the procs= imbalance signal.
+    FLOV_PROFILE(kBarrierIpc);
+    for (int i = 0; i < workers_; ++i) wait_done(i, epoch);
+    fold_status();
+  }
+
+  /// Per-process busy nanoseconds folded so far ([0] = parent's range).
+  /// Safe to call from other threads (ops plane) while stepping runs.
+  std::vector<std::uint64_t> busy_ns() const;
+  /// max/min busy ratio across processes (1.0 when degenerate).
+  double busy_imbalance() const;
+
+ private:
+  struct WorkerEvent {
+    std::uint32_t epoch;
+    std::uint32_t pad;
+    std::uint64_t busy_ns;
+  };
+
+  /// Per-worker shared-memory cell: the done word the parent parks on plus
+  /// the status ring. One cache line apart so workers never false-share.
+  struct alignas(64) WorkerCell {
+    std::atomic<std::uint32_t> done{0};
+    std::atomic<std::uint32_t> parent_waiting{0};
+    SpscRing<WorkerEvent, 64> ring;
+  };
+
+  /// Shared control block (lives in the arena, one per pool).
+  struct alignas(64) Ctl {
+    std::atomic<std::uint32_t> epoch{0};
+    std::atomic<std::uint32_t> stop{0};
+    std::atomic<std::uint32_t> sleepers{0};
+    Cycle now = 0;  ///< published by the epoch seq_cst RMW / acquire pair
+  };
+
+  [[noreturn]] void child_loop(int index);
+  void wait_done(int i, std::uint32_t epoch);
+  void wake_workers();
+  /// waitpid(WNOHANG) sweep; throws WorkerLost on a dead child.
+  void check_children(std::uint32_t epoch);
+  void fold_status();
+
+  std::function<void(int, Cycle)> job_;
+  int workers_;
+  Ctl* ctl_ = nullptr;          ///< in the shared arena
+  WorkerCell* cells_ = nullptr; ///< in the shared arena, after ctl_
+  std::vector<long> pids_;      ///< parent-private
+  std::vector<bool> reaped_;    ///< parent-private
+  /// Parent-private fold of busy time; atomic because the ops-plane HTTP
+  /// thread reads it through Network::proc_busy_imbalance mid-run.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> folded_busy_;
+  int kill_worker_ = -1;        ///< FLYOVER_TEST_KILL_WORKER hook
+  std::uint32_t kill_epoch_ = 0;
+};
+
+}  // namespace flov::ipc

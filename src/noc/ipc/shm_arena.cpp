@@ -1,0 +1,333 @@
+#include "noc/ipc/shm_arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#include "common/log.hpp"
+#include "noc/ipc/futex.hpp"
+
+namespace flov::ipc {
+
+namespace {
+
+constexpr std::size_t kCacheLine = 64;
+/// Block sizes are powers of two from 128 bytes (64-byte header + payload)
+/// up; class c holds blocks of 1 << (7 + c) bytes.
+constexpr int kNumClasses = 30;
+constexpr std::uint32_t kLiveMagic = 0x464c4f56;  // "FLOV"
+constexpr std::uint32_t kFreeMagic = 0x564f4c46;
+constexpr std::size_t kDefaultReserve = std::size_t{8} << 30;  // 8 GiB
+
+/// Per-block header, one cache line so every payload is 64-byte aligned.
+struct BlockHeader {
+  std::uint32_t magic;
+  std::uint32_t cls;
+  std::uint64_t next;  ///< freelist link (arena offset; 0 = end) while free
+};
+static_assert(sizeof(BlockHeader) <= kCacheLine);
+
+/// Arena control header at the mapping base (shared by every process).
+struct ArenaHeader {
+  FutexLock lock;
+  std::size_t bump;  ///< offset of the next never-used byte (guarded by lock)
+  std::size_t capacity;
+  std::atomic<std::size_t> used_high;  ///< high-water mark (stats only)
+  std::uint64_t freelist[kNumClasses];  ///< head offsets (guarded by lock)
+};
+
+int class_of(std::size_t payload) {
+  const std::size_t need = payload + kCacheLine;
+  std::size_t block = 128;
+  int cls = 0;
+  while (block < need) {
+    block <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+std::size_t class_bytes(int cls) { return std::size_t{128} << cls; }
+
+/// Registry of live arenas so operator delete can route a pointer back to
+/// the arena that produced it without any thread-local context. Slots are
+/// claimed/released with atomics; the lookup is a short linear scan guarded
+/// by a global count so malloc-only programs pay one relaxed load per free.
+struct ArenaSlot {
+  std::atomic<std::uintptr_t> base{0};
+  std::atomic<std::uintptr_t> end{0};
+  std::atomic<ShmArena*> arena{nullptr};
+};
+constexpr int kMaxArenas = 64;
+ArenaSlot g_slots[kMaxArenas];
+std::atomic<int> g_arena_count{0};
+
+void register_arena(ShmArena* a, unsigned char* base, std::size_t cap) {
+  for (int i = 0; i < kMaxArenas; ++i) {
+    std::uintptr_t expected = 0;
+    if (g_slots[i].base.compare_exchange_strong(
+            expected, reinterpret_cast<std::uintptr_t>(base),
+            std::memory_order_acq_rel)) {
+      g_slots[i].arena.store(a, std::memory_order_relaxed);
+      g_slots[i].end.store(reinterpret_cast<std::uintptr_t>(base) + cap,
+                           std::memory_order_release);
+      g_arena_count.fetch_add(1, std::memory_order_release);
+      return;
+    }
+  }
+  FLOV_CHECK(false, "too many live shared-memory arenas (max 64)");
+}
+
+void unregister_arena(unsigned char* base) {
+  for (int i = 0; i < kMaxArenas; ++i) {
+    if (g_slots[i].base.load(std::memory_order_acquire) ==
+        reinterpret_cast<std::uintptr_t>(base)) {
+      g_arena_count.fetch_sub(1, std::memory_order_release);
+      g_slots[i].end.store(0, std::memory_order_relaxed);
+      g_slots[i].arena.store(nullptr, std::memory_order_relaxed);
+      g_slots[i].base.store(0, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+thread_local ShmArena* t_arena = nullptr;
+
+ArenaHeader* header_of(unsigned char* base) {
+  return reinterpret_cast<ArenaHeader*>(base);
+}
+
+}  // namespace
+
+ShmArena* thread_arena() { return t_arena; }
+
+ShmArena* arena_of(const void* p) {
+  if (g_arena_count.load(std::memory_order_acquire) == 0) return nullptr;
+  const auto u = reinterpret_cast<std::uintptr_t>(p);
+  for (int i = 0; i < kMaxArenas; ++i) {
+    const std::uintptr_t base = g_slots[i].base.load(std::memory_order_acquire);
+    if (base == 0 || u < base) continue;
+    if (u < g_slots[i].end.load(std::memory_order_acquire)) {
+      return g_slots[i].arena.load(std::memory_order_relaxed);
+    }
+  }
+  return nullptr;
+}
+
+ShmArenaScope::ShmArenaScope(ShmArena* arena) : prev_(t_arena) {
+  t_arena = arena;
+}
+
+ShmArenaScope::~ShmArenaScope() { t_arena = prev_; }
+
+std::shared_ptr<ShmArena> ShmArena::create(std::size_t reserve_bytes) {
+#if !defined(__linux__)
+  (void)reserve_bytes;
+  FLOV_CHECK(false,
+             "multi-process stepping (noc.step_procs > 1) needs Linux "
+             "shared-anonymous mappings and futexes");
+  return nullptr;
+#else
+  std::size_t cap = reserve_bytes;
+  if (cap == 0) {
+    if (const char* env = std::getenv("FLYOVER_SHM_BYTES")) {
+      cap = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+    if (cap == 0) cap = kDefaultReserve;
+  }
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  cap = (cap + page - 1) / page * page;
+  void* base = ::mmap(nullptr, cap, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  FLOV_CHECK(base != MAP_FAILED,
+             "mmap of the shared stepping arena failed (lower "
+             "FLYOVER_SHM_BYTES?)");
+  auto* b = static_cast<unsigned char*>(base);
+  ArenaHeader* h = new (b) ArenaHeader();
+  // First usable byte after the (cache-line-rounded) control header.
+  h->bump = (sizeof(ArenaHeader) + kCacheLine - 1) / kCacheLine * kCacheLine;
+  h->capacity = cap;
+  // The arena object itself lives on the normal heap: create() runs before
+  // any scope is installed, and the object must outlive the final TLS
+  // binding (RunResult keepalive), not sit inside the mapping it frees.
+  return std::shared_ptr<ShmArena>(new ShmArena(b, cap));
+#endif
+}
+
+ShmArena::ShmArena(unsigned char* base, std::size_t capacity)
+    : base_(base), capacity_(capacity) {
+  register_arena(this, base_, capacity_);
+}
+
+ShmArena::~ShmArena() {
+  unregister_arena(base_);
+#if defined(__linux__)
+  ::munmap(base_, capacity_);
+#endif
+}
+
+void* ShmArena::allocate(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  bool align_ok = align <= kCacheLine;
+  const int cls = class_of(size);
+  bool cls_ok = cls < kNumClasses;
+  ArenaHeader* h = header_of(base_);
+  std::size_t off = 0;
+  bool exhausted = false;
+  if (align_ok && cls_ok) {
+    const std::size_t bytes = class_bytes(cls);
+    FutexLockGuard guard(h->lock);
+    if (h->freelist[cls] != 0) {
+      off = h->freelist[cls];
+      auto* bh = reinterpret_cast<BlockHeader*>(base_ + off);
+      h->freelist[cls] = bh->next;
+    } else if (h->bump + bytes <= h->capacity) {
+      off = h->bump;
+      h->bump += bytes;
+      // Monotone under the lock; relaxed is fine for a stats gauge.
+      h->used_high.store(h->bump, std::memory_order_relaxed);
+    } else {
+      exhausted = true;
+    }
+  }
+  // Checks happen outside the lock: FLOV_CHECK formats a std::string (it
+  // allocates), and re-entering allocate() while holding the futex would
+  // deadlock the whole process tree.
+  FLOV_CHECK(align_ok, "shm arena allocation alignment above 64 bytes");
+  FLOV_CHECK(cls_ok, "shm arena allocation too large for any size class");
+  FLOV_CHECK(!exhausted,
+             "shared stepping arena exhausted; raise FLYOVER_SHM_BYTES");
+  auto* bh = reinterpret_cast<BlockHeader*>(base_ + off);
+  bh->magic = kLiveMagic;
+  bh->cls = static_cast<std::uint32_t>(cls);
+  bh->next = 0;
+  return base_ + off + kCacheLine;
+}
+
+void ShmArena::deallocate(void* p) {
+  if (p == nullptr) return;
+  auto* payload = static_cast<unsigned char*>(p);
+  auto* bh = reinterpret_cast<BlockHeader*>(payload - kCacheLine);
+  const bool live = bh->magic == kLiveMagic;
+  const std::uint32_t cls = bh->cls;
+  const bool cls_ok = live && cls < kNumClasses;
+  FLOV_CHECK(cls_ok, "shm arena free of a corrupt or double-freed block");
+  bh->magic = kFreeMagic;
+  ArenaHeader* h = header_of(base_);
+  FutexLockGuard guard(h->lock);
+  bh->next = h->freelist[cls];
+  h->freelist[cls] =
+      static_cast<std::uint64_t>(reinterpret_cast<unsigned char*>(bh) - base_);
+}
+
+std::size_t ShmArena::bytes_used() const {
+  return header_of(base_)->used_high.load(std::memory_order_relaxed);
+}
+
+}  // namespace flov::ipc
+
+// ---------------------------------------------------------------------------
+// Global allocation routing.
+//
+// Replacing the global operators is what lets the entire existing object
+// graph (vectors, std::function closures, strings) land in the shared
+// mapping without touching a single container: when the calling thread has
+// an arena bound the bytes come from the mapping, otherwise this is plain
+// malloc. Deletes route by ADDRESS (arena registry), not by thread state —
+// memory allocated under a scope is routinely freed long after the scope
+// ended (RunResult teardown) or by a different thread.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* flov_route_new(std::size_t n, std::size_t align) noexcept {
+  if (flov::ipc::ShmArena* a = flov::ipc::thread_arena()) {
+    return a->allocate(n, align);
+  }
+  if (align > alignof(std::max_align_t)) {
+    void* p = nullptr;
+    if (::posix_memalign(&p, align, n == 0 ? align : n) != 0) return nullptr;
+    return p;
+  }
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void* flov_route_new_throwing(std::size_t n, std::size_t align) {
+  void* p = flov_route_new(n, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void flov_route_delete(void* p) noexcept {
+  if (p == nullptr) return;
+  if (flov::ipc::ShmArena* a = flov::ipc::arena_of(p)) {
+    a->deallocate(p);
+    return;
+  }
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  return flov_route_new_throwing(n, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t n) {
+  return flov_route_new_throwing(n, alignof(std::max_align_t));
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return flov_route_new_throwing(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return flov_route_new_throwing(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return flov_route_new(n, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return flov_route_new(n, alignof(std::max_align_t));
+}
+void* operator new(std::size_t n, std::align_val_t a,
+                   const std::nothrow_t&) noexcept {
+  return flov_route_new(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a,
+                     const std::nothrow_t&) noexcept {
+  return flov_route_new(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { flov_route_delete(p); }
+void operator delete[](void* p) noexcept { flov_route_delete(p); }
+void operator delete(void* p, std::size_t) noexcept { flov_route_delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { flov_route_delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  flov_route_delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  flov_route_delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  flov_route_delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  flov_route_delete(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  flov_route_delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  flov_route_delete(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  flov_route_delete(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  flov_route_delete(p);
+}

@@ -1,0 +1,101 @@
+// Cross-process shared-memory arena: the transport layer of multi-process
+// stepping (noc.step_procs > 1; docs/PERFORMANCE.md, "Multi-process
+// stepping").
+//
+// The design inverts the usual message-passing picture. Instead of
+// serializing staged channel sends into per-channel rings and copying them
+// between address spaces, the ENTIRE simulation state — the SoA hot-state
+// slab, channels (including their sender-private staging vectors), routers,
+// NIs, wake stages, counter shards, eject stages — is placed in one big
+// MAP_SHARED | MAP_ANONYMOUS mapping created BEFORE the system is built.
+// fork()ed worker processes inherit the mapping at the same address, so the
+// staged cross-domain payloads step_pool already produces are the shared
+// transport: a worker's staged_ vector IS the message buffer the parent's
+// barrier-side merge reads, zero-copy and in exactly the order the serial
+// schedule would have produced. The fixed-slot SPSC rings (spsc_ring.hpp)
+// then only need to carry the small worker -> parent status plane
+// (busy-time / heartbeat records), not flit payloads.
+//
+// How state lands here: a ShmArenaScope routes the calling thread's
+// operator new/delete through the arena (a thread-local pointer; see the
+// replacement operators in shm_arena.cpp). run_synthetic installs the scope
+// around the whole run when step_procs > 1, StepPool propagates it into its
+// worker threads, and fork() propagates it into worker processes — so every
+// allocation the stepping loop can ever touch (vector growth of a staging
+// buffer included) is shared and coherent, while unrelated allocations in
+// processes without a scope fall back to plain malloc.
+//
+// Lifetime: anything allocated in the arena dangles once the mapping is
+// gone, so the arena is handed out as a shared_ptr and RunResult keeps a
+// keepalive reference — telemetry allocated during the run stays valid for
+// as long as any RunResult copy lives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace flov::ipc {
+
+class ShmArena {
+ public:
+  /// Maps a fresh arena. `reserve_bytes` = 0 picks the default reservation
+  /// (FLYOVER_SHM_BYTES env override, else 8 GiB). The reservation is
+  /// address space only (MAP_NORESERVE): physical pages are committed on
+  /// first touch, so a small mesh costs megabytes, not the reservation.
+  /// Linux-only (futexes + fork); calling this elsewhere is a fatal error.
+  static std::shared_ptr<ShmArena> create(std::size_t reserve_bytes = 0);
+
+  ~ShmArena();
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  bool contains(const void* p) const {
+    const auto u = reinterpret_cast<std::uintptr_t>(p);
+    return u >= reinterpret_cast<std::uintptr_t>(base_) &&
+           u < reinterpret_cast<std::uintptr_t>(base_) + capacity_;
+  }
+
+  /// Size-class allocator over the mapping, callable from any process /
+  /// thread (one cross-process futex lock; the stepping hot path is
+  /// allocation-free once staging vectors reach steady-state capacity).
+  /// Alignments up to 64 bytes (the cache-line padding the hot structures
+  /// use); larger requests are a fatal error.
+  void* allocate(std::size_t size, std::size_t align);
+  void deallocate(void* p);
+
+  /// High-water mark of bytes handed out (committed pages are <= this
+  /// rounded up to page granularity).
+  std::size_t bytes_used() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  ShmArena(unsigned char* base, std::size_t capacity);
+
+  unsigned char* base_;     ///< mapping start; the control header lives here
+  std::size_t capacity_;    ///< total mapping size (header included)
+};
+
+/// The calling thread's active arena (null = allocations go to malloc).
+/// Inherited by fork() children and propagated into StepPool workers.
+ShmArena* thread_arena();
+
+/// Routes the arena backing `p`, or null if `p` is plain heap memory.
+/// Consulted by every operator delete — works regardless of which thread
+/// or scope frees the pointer.
+ShmArena* arena_of(const void* p);
+
+/// RAII binder: installs `arena` as the calling thread's allocation target
+/// for the scope (restores the previous binding on exit).
+class ShmArenaScope {
+ public:
+  explicit ShmArenaScope(ShmArena* arena);
+  ~ShmArenaScope();
+  ShmArenaScope(const ShmArenaScope&) = delete;
+  ShmArenaScope& operator=(const ShmArenaScope&) = delete;
+
+ private:
+  ShmArena* prev_;
+};
+
+}  // namespace flov::ipc

@@ -1,0 +1,61 @@
+// Fixed-slot single-producer / single-consumer ring over shared memory.
+//
+// In the zero-copy multi-process design (see shm_arena.hpp) flit payloads
+// never travel through rings — the staged channel vectors in the shared
+// arena ARE the cross-domain transport. What still needs an explicit queue
+// is the small worker -> parent status plane: per-epoch busy-time records
+// that the parent folds into the phase profiler without ever blocking the
+// worker. That is a textbook SPSC shape (one worker writes, only the parent
+// reads), so head/tail acquire-release on a power-of-two slot array is all
+// the machinery required.
+//
+// The ring is deliberately lossy-by-coalescing at the producer's option:
+// status records are monotone accumulators, so when the ring is full the
+// producer folds the new record into the one it will write next rather than
+// spinning — the stepping barrier must never wait on telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+
+namespace flov::ipc {
+
+template <typename T, std::size_t kSlots>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring slots are raw shared memory");
+  static_assert(kSlots >= 2 && (kSlots & (kSlots - 1)) == 0,
+                "slot count must be a power of two");
+
+ public:
+  /// Producer side. Returns false (without writing) when the ring is full.
+  bool try_push(const T& v) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h - tail_.load(std::memory_order_acquire) == kSlots) return false;
+    slots_[h & (kSlots - 1)] = v;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T* out) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (head_.load(std::memory_order_acquire) == t) return false;
+    *out = slots_[t & (kSlots - 1)];
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) T slots_[kSlots];
+};
+
+}  // namespace flov::ipc

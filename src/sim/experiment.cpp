@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "common/log.hpp"
 #include "flov/flov_network.hpp"
+#include "noc/ipc/proc_pool.hpp"
+#include "noc/ipc/shm_arena.hpp"
 #include "rp/rp_network.hpp"
 #include "sim/baseline_network.hpp"
 #include "telemetry/json.hpp"
@@ -188,6 +191,19 @@ bool fully_drained(Network& net) {
 }  // namespace
 
 RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
+  // Multi-process stepping: map the shared arena and route THIS thread's
+  // allocations through it for the whole run, BEFORE anything is built —
+  // the forked workers must be able to follow every pointer the stepping
+  // loop can reach. The arena shared_ptr rides on the RunResult as a
+  // keepalive (see RunResult::arena) because run-scoped telemetry
+  // (metrics, incidents) is arena-backed too.
+  std::shared_ptr<ipc::ShmArena> arena;
+  std::optional<ipc::ShmArenaScope> arena_scope;
+  if (cfg.noc.step_procs > 1) {
+    arena = ipc::ShmArena::create();
+    arena_scope.emplace(arena.get());
+  }
+
   BuiltSystem built = build_system(cfg.scheme, cfg.noc, cfg.energy,
                                    /*always_on=*/{}, cfg.faults);
   NocSystem& sys = *built.system;
@@ -280,6 +296,12 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     octx.total_cycles = total;
     octx.hist_overflow = [&stats] { return stats.hist_overflow(); };
     octx.incidents = incidents.get();
+    if (net.step_procs() > 1) {
+      // procs= tuning signal for /healthz; reads ProcPool atomics, so it
+      // is safe from the HTTP thread mid-run (cleared again at end_run —
+      // `net` dies with this function).
+      octx.proc_imbalance = [&net] { return net.proc_busy_imbalance(); };
+    }
     cfg.ops->begin_run(octx);
   }
   std::uint64_t last_ejected = 0;
@@ -287,6 +309,29 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   std::uint64_t recoveries = 0;
   bool recovery_armed = true;  ///< one recovery attempt per stall episode
   bool aborted = false;
+  bool worker_lost = false;
+  // Steps the system one cycle; false means a stepping worker process died
+  // (procs= mode) — recorded as a `worker_lost` incident, and the caller
+  // must abort: the cycle never completed its barrier, so fabric state is
+  // torn mid-merge and no further stepping or verification is meaningful.
+  auto step_system = [&](Cycle now) {
+    try {
+      sys.step(now);
+      return true;
+    } catch (const ipc::WorkerLost& e) {
+      telemetry::JsonWriter w;
+      w.begin_object();
+      w.kv("kind", "worker_lost");
+      w.kv("scheme", sys.name());
+      w.kv("cycle", static_cast<std::uint64_t>(now));
+      w.kv("worker", e.worker());
+      w.kv("detail", e.what());
+      w.end_object();
+      incidents->add(w.take());
+      worker_lost = true;
+      return false;
+    }
+  };
   Cycle end_cycle = total;  ///< first cycle NOT simulated
   for (Cycle now = 0; now < total; ++now) {
     if (hard_cap != 0 && now >= hard_cap) {
@@ -297,7 +342,11 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     }
     scenario.apply(sys, now);
     traffic.step(now);
-    sys.step(now);
+    if (!step_system(now)) {
+      aborted = true;
+      end_cycle = now;
+      break;
+    }
     if (verifier) verifier->step(now);
     if (cfg.ops != nullptr && cfg.ops->wants_tick(now)) cfg.ops->tick(now);
     if (now == cfg.warmup) built.power->begin_window(now);
@@ -367,7 +416,10 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
         break;
       }
       if (fully_drained(net)) break;
-      sys.step(now);
+      if (!step_system(now)) {
+        aborted = true;
+        break;
+      }
       if (verifier) verifier->step(now);
       if (cfg.ops != nullptr && cfg.ops->wants_tick(now)) cfg.ops->tick(now);
     }
@@ -379,8 +431,10 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   }
 
   RunResult r;
+  r.arena = arena;  // keepalive: see RunResult::arena
   r.scheme = to_string(cfg.scheme);
   r.aborted = aborted;
+  r.worker_lost = worker_lost;
   r.cycles_run = end_cycle;
   r.avg_latency = stats.avg_latency();
   r.p50_latency = stats.latency_percentile(50);
@@ -445,7 +499,9 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
     record_dead_packets(net, *incidents);
   }
   if (verifier) {
-    verifier->final_check(end_cycle);
+    // No final sweep after a lost worker: the last cycle never finished
+    // its barrier, so conservation is torn mid-merge by construction.
+    if (!worker_lost) verifier->final_check(end_cycle);
     r.verifier_violations = verifier->violations();
     r.verifier_checks = verifier->checks_run();
   }
@@ -454,7 +510,15 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   // Final ops fold AFTER every end-of-run incident (hard_fault_summary,
   // packet_dead, verifier final sweep) has been recorded, so the last
   // published snapshot carries the complete incident counts.
-  if (cfg.ops != nullptr) cfg.ops->end_run(end_cycle);
+  if (cfg.ops != nullptr) {
+    // Bridge the per-process busy split into the profile report (children
+    // cannot bind the profiler — it is parent-private memory — so their
+    // busy time arrives through the ProcPool status rings instead).
+    if (net.step_procs() > 1 && cfg.ops->profiler() != nullptr) {
+      cfg.ops->profiler()->set_proc_busy(net.proc_busy_ns());
+    }
+    cfg.ops->end_run(end_cycle);
+  }
 
   // Every subsystem registers its metrics under its own prefix; the
   // registry rides on the RunResult so sweeps can fold per-point
@@ -473,6 +537,9 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   metrics->counter("run.watchdog_recoveries") += recoveries;
   metrics->counter("run.cycles") += end_cycle;
   if (aborted) metrics->counter("run.aborted") += 1;
+  // Only touched on loss, so healthy procs= manifests stay byte-identical
+  // to single-process ones (registries serialize only keys that exist).
+  if (worker_lost) metrics->counter("run.worker_lost") += 1;
   if (cfg.noc.reliable) {
     metrics->counter("run.packets_acked") += r.packets_acked;
     metrics->counter("run.packets_dead") += r.packets_dead;

@@ -71,6 +71,13 @@ struct SyntheticExperimentConfig {
 };
 
 struct RunResult {
+  /// Keepalive for the shared stepping arena (noc.step_procs > 1; null
+  /// otherwise). Everything below — metrics, incidents, the latency stats
+  /// folded into the scalars — was allocated while the arena scope was
+  /// bound, so the mapping must outlive every copy of this result. FIRST
+  /// member on purpose: members are destroyed in reverse declaration
+  /// order, so the arena is unmapped last.
+  std::shared_ptr<void> arena;
   std::string scheme;
   double avg_latency = 0.0;
   double p50_latency = 0.0;
@@ -116,6 +123,10 @@ struct RunResult {
   std::uint64_t wake_requests_dropped = 0;
   /// True when sim.max_cycles_hard aborted the run (stats are partial).
   bool aborted = false;
+  /// True when a stepping worker process died mid-run (noc.step_procs > 1;
+  /// implies aborted — a `worker_lost` incident carries the details, and
+  /// flov_sim_cli exits 3).
+  bool worker_lost = false;
   /// Cycles actually simulated (warmup + measure + any drain tail; less
   /// when aborted).
   Cycle cycles_run = 0;

@@ -60,6 +60,10 @@ void OpsPlane::begin_run(const RunContext& ctx) {
   incidents_seen_ = 0;
   incidents_hard_fault_ = 0;
   incidents_watchdog_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_proc_imbalance_ = ctx.proc_imbalance;
+  }
   const int n = ctx_.sys->network().num_nodes();
   node_latency_sum_.assign(static_cast<std::size_t>(n), 0);
   node_ejected_packets_.assign(static_cast<std::size_t>(n), 0);
@@ -86,6 +90,12 @@ void OpsPlane::end_run(Cycle now) {
   // across threads= / tiles=).
   if (now != last_fold_cycle_ || seq_ == 0) fold(now);
   run_active_ = false;
+  {
+    // Detach the health-surfaced callback before the system it reads is
+    // destroyed; the HTTP thread takes the same lock in healthz_json.
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_proc_imbalance_ = nullptr;
+  }
   ctx_ = RunContext{};
 }
 
@@ -264,6 +274,14 @@ std::string OpsPlane::healthz_json() const {
     w.raw(g.take());
   }
   w.kv("hist_overflow", s.hist_overflow);
+  {
+    // Live (wall-clock-derived, volatile like uptime) procs= imbalance:
+    // 1.0 when single-process or between runs.
+    double imbalance = 1.0;
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (health_proc_imbalance_) imbalance = health_proc_imbalance_();
+    w.kv("proc_busy_imbalance", imbalance);
+  }
   w.end_object();
   return w.take();
 }

@@ -88,6 +88,10 @@ class OpsPlane {
     std::function<std::uint64_t()> hist_overflow;
     /// Incident sink to count kinds from; may be null. Borrowed.
     const telemetry::StructuredSink* incidents = nullptr;
+    /// Multi-process busy-imbalance reader (Network::proc_busy_imbalance);
+    /// null for single-process runs. Must be callable from the HTTP
+    /// thread mid-run — it only reads ProcPool atomics.
+    std::function<double()> proc_imbalance;
   };
 
   /// Sizes the per-node accumulators and registers a passive ejection
@@ -139,6 +143,11 @@ class OpsPlane {
   // --- run-mode fold state (sim thread only) ---
   bool run_active_ = false;
   RunContext ctx_;
+  /// Guards health-surfaced callbacks the HTTP thread may invoke mid-run
+  /// (currently ctx_.proc_imbalance). end_run clears them under this lock
+  /// — the system they read dies right after.
+  mutable std::mutex health_mu_;
+  std::function<double()> health_proc_imbalance_;
   Cycle next_fold_ = 0;
   Cycle last_fold_cycle_ = 0;
   std::uint64_t seq_ = 0;
