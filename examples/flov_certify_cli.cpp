@@ -71,6 +71,11 @@ int main(int argc, char** argv) {
   base.measure = cfg.get_int("cycles", 2500);
   base.drain_max = cfg.get_int("drain", 30000);
   base.max_cycles_hard = cfg.get_int("sim.max_cycles_hard", 200000);
+  // Self-healing knobs (volatile — excluded from replication fingerprints).
+  base.snapshot_period = cfg.get_int("sim.snapshot_period", 0);
+  base.runstate_path = cfg.get_string("runstate", "");
+  base.max_recoveries =
+      static_cast<int>(cfg.get_int("sim.max_recoveries", base.max_recoveries));
   base.faults = FaultParams::from_config(cfg);
   base.verifier = VerifierOptions::from_config(cfg);
   // A fatal verifier would abort the whole campaign on one bad

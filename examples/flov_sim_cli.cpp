@@ -49,6 +49,24 @@ void print_usage() {
       "                             with a structured incident + partial\n"
       "                             stats instead of a process abort\n"
       "\n"
+      "Self-healing (docs/RELIABILITY.md, \"Runtime self-healing\"):\n"
+      "  sim.snapshot_period=<n>    in-run checkpoint period in cycles\n"
+      "                             (0 = off); with procs= a lost worker\n"
+      "                             or poisoned arena is healed from the\n"
+      "                             last checkpoint — the recovered run's\n"
+      "                             manifest is byte-identical to an\n"
+      "                             undisturbed one (volatile knob)\n"
+      "  runstate=<path>            also persist each checkpoint as a\n"
+      "                             flyover-runstate-v1 blob (path.0/.1\n"
+      "                             slots + JSONL index at <path>)\n"
+      "  sim.max_recoveries=<n>     self-healing budget per run (3)\n"
+      "\n"
+      "Exit codes: 0 = clean run (including disturbed-but-recovered runs);\n"
+      "  1 = usage/config error or ordinary failure; 3 = a stepping worker\n"
+      "  died (or the arena was poisoned) and self-healing was off,\n"
+      "  exhausted, or snapshotless — stats are partial, manifest records\n"
+      "  the worker_lost/arena_poisoned incident.\n"
+      "\n"
       "Reliable delivery (noc.reliable=1, PROTOCOL.md \xc2\xa7" "8):\n"
       "  noc.reliable=0|1           per-flow seq numbers, retransmit\n"
       "                             buffer, ack piggyback + 1-flit acks\n"
@@ -129,6 +147,10 @@ int main(int argc, char** argv) {
   ex.timeline_window = cfg.get_int("timeline", 0);
   ex.drain_max = cfg.get_int("drain", 0);
   ex.max_cycles_hard = cfg.get_int("sim.max_cycles_hard", 0);
+  ex.snapshot_period = cfg.get_int("sim.snapshot_period", 0);
+  ex.runstate_path = cfg.get_string("runstate", "");
+  ex.max_recoveries =
+      static_cast<int>(cfg.get_int("sim.max_recoveries", ex.max_recoveries));
   ex.faults = FaultParams::from_config(cfg);
   ex.verifier = VerifierOptions::from_config(cfg);
   ex.verify = cfg.get_bool("verify", ex.verify);
@@ -235,6 +257,15 @@ int main(int argc, char** argv) {
                 r.dead_routers, r.dead_links,
                 static_cast<unsigned long long>(r.wake_requests_dropped));
   }
+  if (r.recoveries > 0) {
+    // Volatile, stderr-only: the run's stdout/manifest must stay
+    // byte-identical to an undisturbed run.
+    std::fprintf(stderr,
+                 "[selfheal] run recovered %llu time(s); %.3f s spent in "
+                 "restore+respawn\n",
+                 static_cast<unsigned long long>(r.recoveries),
+                 static_cast<double>(r.recovery_wall_ns) / 1e9);
+  }
   if (r.worker_lost) {
     std::printf("ABORTED at cycle %llu (stepping worker process died; see "
                 "the worker_lost incident); stats are partial\n",
@@ -285,10 +316,15 @@ int main(int argc, char** argv) {
     // manifest's config so two runs can never silently differ on one.
     // Ops-plane keys are stripped first: serving /metrics or profiling a
     // run must leave its manifest byte-identical to a plain run's.
+    // Self-healing keys are volatile for the same reason: a disturbed run
+    // that recovered must produce a byte-identical manifest to an
+    // undisturbed run launched without them.
     Config mcfg;
     for (const std::string& k : cfg.keys()) {
       if (k == "serve" || k == "ops_stream" || k == "profile" ||
-          k == "profile_out" || k == "ops.period") {
+          k == "profile_out" || k == "ops.period" ||
+          k == "sim.snapshot_period" || k == "runstate" ||
+          k == "sim.max_recoveries") {
         continue;
       }
       mcfg.set(k, cfg.get_string(k));

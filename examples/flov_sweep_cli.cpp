@@ -78,6 +78,12 @@ int main(int argc, char** argv) {
   base.timeline_window = cfg.get_int("timeline", 0);
   base.drain_max = cfg.get_int("drain", 0);
   base.max_cycles_hard = cfg.get_int("sim.max_cycles_hard", 0);
+  // Self-healing knobs (volatile — excluded from point fingerprints, so a
+  // sweep resumed with different values reuses its checkpoints).
+  base.snapshot_period = cfg.get_int("sim.snapshot_period", 0);
+  base.runstate_path = cfg.get_string("runstate", "");
+  base.max_recoveries =
+      static_cast<int>(cfg.get_int("sim.max_recoveries", base.max_recoveries));
   base.faults = FaultParams::from_config(cfg);
   base.verifier = VerifierOptions::from_config(cfg);
   base.verify = cfg.get_bool("verify", base.verify);

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 
 #if defined(__linux__)
 #include <linux/futex.h>
+#include <signal.h>
 #include <sys/syscall.h>
 #include <time.h>
 #include <unistd.h>
@@ -51,63 +53,104 @@ inline long futex_wake(std::atomic<std::uint32_t>*, int) { return 0; }
 
 #endif
 
-/// Drepper-style three-state futex mutex (0 free / 1 locked / 2 locked with
-/// waiters), usable from any process mapping the word. Guards the arena
-/// allocator's free lists — a cold-ish path (the per-cycle stepping loop is
-/// allocation-free once staging vectors reach steady-state capacity), so a
-/// single lock for the whole arena is plenty.
+/// Robust cross-process futex mutex with owner-death detection. The lock
+/// word is 0 when free, otherwise the OWNER'S PID with bit 31
+/// (`kWaitersBit`) set when someone is parked. Storing the pid in the word
+/// itself means acquisition IS ownership publication — there is no window
+/// where the lock is held but the holder is anonymous, so a waiter can
+/// always ask the kernel whether the owner still exists.
+///
+/// Guards the arena allocator's free lists — a cold-ish path (the per-cycle
+/// stepping loop is allocation-free once staging vectors reach steady-state
+/// capacity), so a single lock for the whole arena is plenty.
+///
+/// A contended waiter parks with a bounded (50 ms) timeout; on timeout it
+/// validates the recorded owner with kill(pid, 0). A dead owner's word is
+/// seized by CAS, and lock() returns true so the caller knows the critical
+/// section may have been abandoned mid-update (the arena responds with an
+/// integrity audit; see shm_arena.cpp). Pid-reuse within one 50 ms window
+/// is the only way to fool the check, and then we merely keep waiting.
 class FutexLock {
  public:
-  void lock() {
+  /// Acquires the lock. Returns true iff the lock was SEIZED from a dead
+  /// owner — the protected state may be mid-update and must be audited.
+  bool lock() {
+#if defined(__linux__)
+    const std::uint32_t me = static_cast<std::uint32_t>(::getpid());
+#else
+    const std::uint32_t me = 1;
+#endif
     std::uint32_t c = 0;
-    if (v_.compare_exchange_strong(c, 1, std::memory_order_acquire,
+    if (v_.compare_exchange_strong(c, me, std::memory_order_acquire,
                                    std::memory_order_relaxed)) {
-      return;
+      return false;
     }
     // Short spin first: allocator critical sections are a handful of loads
     // and stores, so the holder is usually gone before we would park.
     for (int spin = 0; spin < 128; ++spin) {
       c = 0;
-      if (v_.compare_exchange_weak(c, 1, std::memory_order_acquire,
+      if (v_.compare_exchange_weak(c, me, std::memory_order_acquire,
                                    std::memory_order_relaxed)) {
-        return;
+        return false;
       }
     }
-    do {
-      // Mark contended (1 -> 2) and park. If the word is 0 the cmpxchg
-      // fails without storing and we skip straight to the acquisition
-      // attempt below; a stale expect value just makes futex_wait return
-      // EAGAIN immediately.
-      std::uint32_t one = 1;
-      if (c == 2 || v_.compare_exchange_strong(one, 2,
-                                               std::memory_order_relaxed) ||
-          one == 2) {
-        futex_wait(&v_, 2);
+    for (;;) {
+      c = v_.load(std::memory_order_relaxed);
+      if (c == 0) {
+        if (v_.compare_exchange_weak(c, me, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+          return false;
+        }
+        continue;
       }
-      c = 0;
-    } while (!v_.compare_exchange_strong(c, 2, std::memory_order_acquire,
-                                         std::memory_order_relaxed));
+      // Publish intent to park, then wait on the exact marked value; a
+      // stale expect just makes futex_wait return EAGAIN and we re-loop.
+      const std::uint32_t marked = c | kWaitersBit;
+      if (c != marked &&
+          !v_.compare_exchange_weak(c, marked, std::memory_order_relaxed)) {
+        continue;
+      }
+#if defined(__linux__)
+      struct timespec ts{};
+      ts.tv_sec = 0;
+      ts.tv_nsec = 50 * 1000 * 1000;
+      errno = 0;
+      futex_wait(&v_, marked, &ts);
+      if (errno == ETIMEDOUT) {
+        const std::uint32_t owner = marked & ~kWaitersBit;
+        if (owner != 0 &&
+            ::kill(static_cast<pid_t>(owner), 0) == -1 && errno == ESRCH) {
+          // Owner died holding the lock. Seize: swap our pid in while
+          // keeping the waiters bit so our unlock wakes other parkers.
+          std::uint32_t expect = marked;
+          if (v_.compare_exchange_strong(expect, me | kWaitersBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+            return true;
+          }
+        }
+      }
+#else
+      futex_wait(&v_, marked);
+#endif
+    }
   }
 
   void unlock() {
-    if (v_.exchange(0, std::memory_order_release) == 2) {
+    if (v_.exchange(0, std::memory_order_release) & kWaitersBit) {
       futex_wake(&v_, 1);
     }
   }
 
  private:
+  static constexpr std::uint32_t kWaitersBit = 0x80000000u;
+
   std::atomic<std::uint32_t> v_{0};
 };
 
-class FutexLockGuard {
- public:
-  explicit FutexLockGuard(FutexLock& l) : l_(l) { l_.lock(); }
-  ~FutexLockGuard() { l_.unlock(); }
-  FutexLockGuard(const FutexLockGuard&) = delete;
-  FutexLockGuard& operator=(const FutexLockGuard&) = delete;
-
- private:
-  FutexLock& l_;
-};
+// Note: no RAII guard on purpose. lock() returns the seized-from-dead-owner
+// flag, and every caller must decide what a seizure means for the state the
+// lock protects (the arena runs an audit); a guard that discarded the flag
+// would be a correctness trap.
 
 }  // namespace flov::ipc

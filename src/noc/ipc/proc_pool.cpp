@@ -1,12 +1,15 @@
 #include "noc/ipc/proc_pool.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 
 #if defined(__linux__)
+#include <poll.h>
 #include <sys/prctl.h>
+#include <sys/syscall.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <signal.h>
@@ -56,6 +59,11 @@ ProcPool::ProcPool(int workers, std::function<void(int, Cycle)> job)
   FLOV_CHECK(arena != nullptr,
              "ProcPool requires a bound shared arena (noc.step_procs > 1 "
              "must allocate the system inside ShmArenaScope)");
+  barrier_timeout_ns_ = 10ull * 1000 * 1000 * 1000;
+  if (const char* env = std::getenv("FLYOVER_BARRIER_TIMEOUT_MS")) {
+    const unsigned long ms = std::strtoul(env, nullptr, 10);
+    if (ms > 0) barrier_timeout_ns_ = static_cast<std::uint64_t>(ms) * 1000000;
+  }
   // One arena block: the control header followed by the per-worker cells
   // (Ctl is cache-line sized/aligned, so the cells stay 64-aligned).
   void* mem = arena->allocate(
@@ -80,17 +88,47 @@ ProcPool::ProcPool(int workers, std::function<void(int, Cycle)> job)
       kill_worker_ = idx;
       kill_epoch_ = static_cast<std::uint32_t>(ep);
     }
+    // One-shot: a pool respawned after recovery restarts its epochs at 0
+    // and must not re-arm the same kill, or recovery would loop forever.
+#if defined(__linux__)
+    ::unsetenv("FLYOVER_TEST_KILL_WORKER");
+#endif
+  }
+  if (const char* env = std::getenv("FLYOVER_TEST_KILL_IN_ALLOC")) {
+    // "index:epoch" — worker `index` dies at the start of `epoch` while
+    // HOLDING the arena allocator futex, exercising the owner-death seize
+    // + audit path in every surviving process.
+    int idx = -1;
+    unsigned long ep = 0;
+    if (std::sscanf(env, "%d:%lu", &idx, &ep) == 2) {
+      kill_alloc_worker_ = idx;
+      kill_alloc_epoch_ = static_cast<std::uint32_t>(ep);
+    }
+#if defined(__linux__)
+    ::unsetenv("FLYOVER_TEST_KILL_IN_ALLOC");
+#endif
   }
 
 #if defined(__linux__)
+  const pid_t parent = ::getpid();
   pids_.reserve(static_cast<std::size_t>(workers_));
   reaped_.assign(static_cast<std::size_t>(workers_), false);
   for (int i = 0; i < workers_; ++i) {
     const pid_t pid = ::fork();
-    FLOV_CHECK(pid >= 0, "fork of a stepping worker failed");
-    if (pid == 0) child_loop(i);
+    if (pid < 0) {
+      // An exception, not FLOV_CHECK: the recovery path retries with a
+      // smaller pool, so running out of processes mid-respawn must be
+      // recoverable. Tear down what was already forked first.
+      workers_ = i;  // only [0, i) exist
+      kill_workers();
+      if (ShmArena* a = arena_of(ctl_)) a->deallocate(ctl_);
+      ctl_ = nullptr;
+      throw std::runtime_error("fork of a stepping worker failed");
+    }
+    if (pid == 0) child_loop(i, static_cast<long>(parent));
     pids_.push_back(pid);
   }
+  start_monitor();
 #else
   FLOV_CHECK(false,
              "multi-process stepping (noc.step_procs > 1) is Linux-only");
@@ -99,20 +137,110 @@ ProcPool::ProcPool(int workers, std::function<void(int, Cycle)> job)
 
 ProcPool::~ProcPool() {
 #if defined(__linux__)
-  ctl_->stop.store(1, std::memory_order_seq_cst);
-  ctl_->epoch.fetch_add(1, std::memory_order_seq_cst);
-  wake_workers();
+  if (!killed_) {
+    ctl_->stop.store(1, std::memory_order_seq_cst);
+    ctl_->epoch.fetch_add(1, std::memory_order_seq_cst);
+    wake_workers();
+    for (int i = 0; i < workers_; ++i) {
+      if (reaped_[static_cast<std::size_t>(i)]) continue;
+      int st = 0;
+      ::waitpid(static_cast<pid_t>(pids_[static_cast<std::size_t>(i)]), &st,
+                0);
+    }
+  }
+  stop_monitor();
+#endif
+  // The Ctl/cells block is arena memory; freeing it is optional (the arena
+  // unmaps wholesale) but keeps long sweeps from leaking a block per point.
+  if (ctl_ != nullptr) {
+    if (ShmArena* a = arena_of(ctl_)) {
+      a->deallocate(ctl_);
+    }
+  }
+}
+
+void ProcPool::kill_workers() {
+#if defined(__linux__)
+  for (int i = 0; i < workers_; ++i) {
+    if (reaped_[static_cast<std::size_t>(i)]) continue;
+    ::kill(static_cast<pid_t>(pids_[static_cast<std::size_t>(i)]), SIGKILL);
+  }
   for (int i = 0; i < workers_; ++i) {
     if (reaped_[static_cast<std::size_t>(i)]) continue;
     int st = 0;
     ::waitpid(static_cast<pid_t>(pids_[static_cast<std::size_t>(i)]), &st, 0);
+    reaped_[static_cast<std::size_t>(i)] = true;
+  }
+  stop_monitor();
+#endif
+  killed_ = true;
+}
+
+void ProcPool::start_monitor() {
+#if defined(__linux__) && defined(SYS_pidfd_open)
+  pidfds_.reserve(pids_.size());
+  for (long pid : pids_) {
+    const long fd = ::syscall(SYS_pidfd_open, static_cast<pid_t>(pid), 0);
+    if (fd < 0) {
+      // ENOSYS (pre-5.3) or fd pressure: fall back to the waitpid sweep.
+      for (int f : pidfds_) ::close(f);
+      pidfds_.clear();
+      return;
+    }
+    pidfds_.push_back(static_cast<int>(fd));
+  }
+  if (::pipe(monitor_pipe_) != 0) {
+    for (int f : pidfds_) ::close(f);
+    pidfds_.clear();
+    return;
+  }
+  monitor_active_ = true;
+  monitor_ = std::thread([this] { monitor_loop(); });
+#endif
+}
+
+void ProcPool::stop_monitor() {
+#if defined(__linux__)
+  if (monitor_.joinable()) {
+    const char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(monitor_pipe_[1], &byte, 1);
+    monitor_.join();
+  }
+  monitor_active_ = false;
+  for (int f : pidfds_) ::close(f);
+  pidfds_.clear();
+  if (monitor_pipe_[0] != -1) ::close(monitor_pipe_[0]);
+  if (monitor_pipe_[1] != -1) ::close(monitor_pipe_[1]);
+  monitor_pipe_[0] = monitor_pipe_[1] = -1;
+#endif
+}
+
+void ProcPool::monitor_loop() {
+#if defined(__linux__)
+  // One pollfd per child pidfd plus the shutdown pipe. A pidfd becomes
+  // readable when its process exits — no timer, no signals, no reaping
+  // here (the parent's waitpid sweep keeps sole ownership of child
+  // status). One death is enough: flag it, kick the parked barrier, and
+  // retire; the barrier's own sweep handles any further deaths.
+  std::vector<struct pollfd> fds;
+  fds.push_back({monitor_pipe_[0], POLLIN, 0});
+  for (int f : pidfds_) fds.push_back({f, POLLIN, 0});
+  for (;;) {
+    const int r = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[0].revents != 0) return;  // shutdown
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents != 0) {
+        child_died_.store(true, std::memory_order_seq_cst);
+        for (int w = 0; w < workers_; ++w) futex_wake(&cells_[w].done, 1);
+        return;
+      }
+    }
   }
 #endif
-  // The Ctl/cells block is arena memory; freeing it is optional (the arena
-  // unmaps wholesale) but keeps long sweeps from leaking a block per point.
-  if (ShmArena* a = arena_of(ctl_)) {
-    a->deallocate(ctl_);
-  }
 }
 
 void ProcPool::wake_workers() {
@@ -146,13 +274,14 @@ void ProcPool::check_children(std::uint32_t epoch) {
 
 void ProcPool::wait_done(int i, std::uint32_t epoch) {
   WorkerCell& cell = cells_[i];
+  const std::uint64_t start = mono_ns();
   for (;;) {
     for (int spin = 0; spin < kParentSpin; ++spin) {
       if (reached(cell.done.load(std::memory_order_acquire), epoch)) return;
     }
     // Park on the done word. The waiting flag tells the child a wake is
     // wanted; the Dekker-shaped store-then-load pair runs seq_cst on both
-    // sides, and the bounded wait plus the waitpid sweep mean even a lost
+    // sides, and the bounded wait plus the death checks mean even a lost
     // wake or a dead child costs one timeout, never a hang.
     cell.parent_waiting.store(1, std::memory_order_seq_cst);
     const std::uint32_t d = cell.done.load(std::memory_order_seq_cst);
@@ -161,11 +290,27 @@ void ProcPool::wait_done(int i, std::uint32_t epoch) {
       return;
     }
 #if defined(__linux__)
-    struct timespec ts {0, 20 * 1000 * 1000};
+    // With the pidfd monitor armed a child death wakes this park directly,
+    // so it can be long; without it the short park doubles as the death
+    // poll timer.
+    const long park_ms = monitor_active_ ? 500 : 20;
+    struct timespec ts {0, park_ms * 1000 * 1000};
     futex_wait(&cell.done, d, &ts);
 #endif
     cell.parent_waiting.store(0, std::memory_order_relaxed);
     check_children(epoch);
+    const std::uint64_t waited = mono_ns() - start;
+    if (waited > barrier_timeout_ns_) {
+      // Alive but wedged (deadlocked allocator, livelock, SIGSTOP...):
+      // treat exactly like death so the run can recover or abort cleanly.
+      throw WorkerLost(
+          i, 0,
+          "stepping worker " + std::to_string(i) + " (proc " +
+              std::to_string(i + 1) + ") missed the cycle barrier for " +
+              std::to_string(waited / 1000000) +
+              " ms at epoch " + std::to_string(epoch) +
+              " (wedged); treating as lost");
+    }
   }
 }
 
@@ -199,10 +344,15 @@ double ProcPool::busy_imbalance() const {
   return static_cast<double>(hi) / static_cast<double>(lo);
 }
 
-void ProcPool::child_loop(int index) {
+void ProcPool::child_loop(int index, long parent_pid) {
 #if defined(__linux__)
   // Die with the parent rather than orphan-spinning on a dead barrier.
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  // PDEATHSIG only fires for deaths AFTER it is installed: if the parent
+  // died in the fork()-to-prctl() window this child is already reparented
+  // (to init or a subreaper) and would orphan-spin forever. Compare the
+  // live parent against the pre-fork pid and bail if it changed.
+  if (static_cast<long>(::getppid()) != parent_pid) std::_Exit(1);
   // fork() copied the parent thread's TLS, including any bound profiler /
   // tracer — parent-private heap objects this child must never write to
   // (a stale copy-on-write snapshot at best, out-of-range after the
@@ -239,8 +389,20 @@ void ProcPool::child_loop(int index) {
       std::_Exit(0);
     }
     if (index == kill_worker_ && seen == kill_epoch_) std::_Exit(42);
+    if (index == kill_alloc_worker_ && seen == kill_alloc_epoch_) {
+      // Die HOLDING the allocator futex: the worst-case death. Survivors
+      // must seize the lock, audit, and either heal or poison — never hang.
+      if (ShmArena* a = thread_arena()) a->lock_for_test();
+      std::_Exit(44);
+    }
     const std::uint64_t t0 = mono_ns();
-    job_(index, ctl_->now);
+    try {
+      job_(index, ctl_->now);
+    } catch (const ArenaPoisoned&) {
+      std::_Exit(43);  // quarantined arena: die fast, parent recovers
+    } catch (...) {
+      std::_Exit(45);  // never unwind into inherited parent state
+    }
     pending_busy += mono_ns() - t0;
     WorkerEvent ev{seen, 0, pending_busy};
     if (cell.ring.try_push(ev)) pending_busy = 0;  // else coalesce next epoch
@@ -251,6 +413,7 @@ void ProcPool::child_loop(int index) {
   }
 #else
   (void)index;
+  (void)parent_pid;
   std::_Exit(1);
 #endif
 }

@@ -15,10 +15,15 @@
 //           (release) publishes its staged sends back; parent's done load
 //           (acquire) completes the chain before it merges.
 //
-// The parent also polls waitpid(WNOHANG) while waiting, so a worker that
-// dies (OOM kill, crash, the FLYOVER_TEST_KILL_WORKER test hook) surfaces
-// as a thrown WorkerLost instead of a hung barrier; run_synthetic converts
-// that into a `worker_lost` incident and a clean abort.
+// Worker death (OOM kill, crash, the FLYOVER_TEST_KILL_WORKER test hook)
+// surfaces as a thrown WorkerLost instead of a hung barrier: a parent-side
+// monitor thread polls one pidfd per child (pidfd_open, kernel >= 5.3) and
+// wakes the barrier the moment any child exits; on kernels without pidfd
+// the parent falls back to a bounded 20 ms park + waitpid(WNOHANG) sweep.
+// A wedged-but-alive worker trips the same path through a total barrier
+// deadline (FLYOVER_BARRIER_TIMEOUT_MS, default 10 s). run_synthetic either
+// recovers from the last in-run checkpoint (sim.snapshot_period > 0) or
+// converts the loss into a `worker_lost` incident and a clean abort.
 //
 // Children are pure stepping engines: they never touch the tracer,
 // profiler, metrics or ops plane (all parent-private malloc memory that is
@@ -35,6 +40,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/types.hpp"
@@ -109,6 +115,13 @@ class ProcPool {
   /// max/min busy ratio across processes (1.0 when degenerate).
   double busy_imbalance() const;
 
+  /// SIGKILLs and reaps every remaining worker, making the pool inert.
+  /// The recovery path calls this before restoring a checkpoint: once it
+  /// returns there are provably no writers left in the shared arena, so
+  /// the restore memcpy cannot race anything. Idempotent; the destructor
+  /// afterwards is a no-op beyond freeing the control block.
+  void kill_workers();
+
  private:
   struct WorkerEvent {
     std::uint32_t epoch;
@@ -132,12 +145,17 @@ class ProcPool {
     Cycle now = 0;  ///< published by the epoch seq_cst RMW / acquire pair
   };
 
-  [[noreturn]] void child_loop(int index);
+  [[noreturn]] void child_loop(int index, long parent_pid);
   void wait_done(int i, std::uint32_t epoch);
   void wake_workers();
   /// waitpid(WNOHANG) sweep; throws WorkerLost on a dead child.
   void check_children(std::uint32_t epoch);
   void fold_status();
+  /// Arms the pidfd_open/poll death monitor (parent-private thread). Falls
+  /// back silently to the bounded-park waitpid sweep when unavailable.
+  void start_monitor();
+  void stop_monitor();
+  void monitor_loop();
 
   std::function<void(int, Cycle)> job_;
   int workers_;
@@ -150,6 +168,16 @@ class ProcPool {
   std::unique_ptr<std::atomic<std::uint64_t>[]> folded_busy_;
   int kill_worker_ = -1;        ///< FLYOVER_TEST_KILL_WORKER hook
   std::uint32_t kill_epoch_ = 0;
+  int kill_alloc_worker_ = -1;  ///< FLYOVER_TEST_KILL_IN_ALLOC hook
+  std::uint32_t kill_alloc_epoch_ = 0;
+  std::uint64_t barrier_timeout_ns_;  ///< wedged-worker deadline (wait_done)
+  bool killed_ = false;         ///< kill_workers() ran; pool is inert
+  /// pidfd death monitor (parent-private; absent on pre-5.3 kernels).
+  std::vector<int> pidfds_;
+  std::thread monitor_;
+  int monitor_pipe_[2] = {-1, -1};
+  bool monitor_active_ = false;
+  std::atomic<bool> child_died_{false};
 };
 
 }  // namespace flov::ipc

@@ -1,4 +1,7 @@
 #include "noc/ipc/shm_arena.hpp"
+#ifdef FLOV_DEBUG_FREE_BT
+#include <execinfo.h>
+#endif
 
 #include <atomic>
 #include <cstdlib>
@@ -24,12 +27,18 @@ constexpr int kNumClasses = 30;
 constexpr std::uint32_t kLiveMagic = 0x464c4f56;  // "FLOV"
 constexpr std::uint32_t kFreeMagic = 0x564f4c46;
 constexpr std::size_t kDefaultReserve = std::size_t{8} << 30;  // 8 GiB
+/// Tail-canary seed; each block stores kCanary ^ its arena offset right
+/// after the requested payload (when the size class leaves >= 8 bytes of
+/// slack), so a buffer overrun into the slack — or a torn header — is
+/// visible to audit().
+constexpr std::uint64_t kCanary = 0xFEEDFACECAFEF00Dull;
 
 /// Per-block header, one cache line so every payload is 64-byte aligned.
 struct BlockHeader {
   std::uint32_t magic;
   std::uint32_t cls;
   std::uint64_t next;  ///< freelist link (arena offset; 0 = end) while free
+  std::uint64_t req_size;  ///< requested payload bytes (canary placement)
 };
 static_assert(sizeof(BlockHeader) <= kCacheLine);
 
@@ -39,6 +48,8 @@ struct ArenaHeader {
   std::size_t bump;  ///< offset of the next never-used byte (guarded by lock)
   std::size_t capacity;
   std::atomic<std::size_t> used_high;  ///< high-water mark (stats only)
+  std::atomic<std::uint32_t> poisoned{0};  ///< audit failed; arena quarantined
+  std::atomic<std::uint64_t> seizures{0};  ///< dead-owner locks healed
   std::uint64_t freelist[kNumClasses];  ///< head offsets (guarded by lock)
 };
 
@@ -180,10 +191,22 @@ void* ShmArena::allocate(std::size_t size, std::size_t align) {
   ArenaHeader* h = header_of(base_);
   std::size_t off = 0;
   bool exhausted = false;
-  if (align_ok && cls_ok) {
+  bool poisoned = h->poisoned.load(std::memory_order_acquire) != 0;
+  if (align_ok && cls_ok && !poisoned) {
     const std::size_t bytes = class_bytes(cls);
-    FutexLockGuard guard(h->lock);
-    if (h->freelist[cls] != 0) {
+    // A seized lock means the previous owner died mid-critical-section:
+    // audit before trusting the free lists. A passing audit continues
+    // healed; a failing one quarantines the arena for everyone.
+    if (h->lock.lock()) {
+      if (audit_locked()) {
+        h->seizures.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        h->poisoned.store(1, std::memory_order_release);
+      }
+    }
+    if (h->poisoned.load(std::memory_order_relaxed) != 0) {
+      poisoned = true;
+    } else if (h->freelist[cls] != 0) {
       off = h->freelist[cls];
       auto* bh = reinterpret_cast<BlockHeader*>(base_ + off);
       h->freelist[cls] = bh->next;
@@ -195,10 +218,13 @@ void* ShmArena::allocate(std::size_t size, std::size_t align) {
     } else {
       exhausted = true;
     }
+    h->lock.unlock();
   }
-  // Checks happen outside the lock: FLOV_CHECK formats a std::string (it
-  // allocates), and re-entering allocate() while holding the futex would
-  // deadlock the whole process tree.
+  // Failure paths run outside the lock: FLOV_CHECK formats a std::string
+  // (it allocates), and re-entering allocate() while holding the futex
+  // would deadlock the whole process tree. ArenaPoisoned construction is
+  // allocation-free by design.
+  if (poisoned) throw ArenaPoisoned();
   FLOV_CHECK(align_ok, "shm arena allocation alignment above 64 bytes");
   FLOV_CHECK(cls_ok, "shm arena allocation too large for any size class");
   FLOV_CHECK(!exhausted,
@@ -207,28 +233,141 @@ void* ShmArena::allocate(std::size_t size, std::size_t align) {
   bh->magic = kLiveMagic;
   bh->cls = static_cast<std::uint32_t>(cls);
   bh->next = 0;
+  bh->req_size = size;
+  const std::size_t slack = class_bytes(cls) - kCacheLine - size;
+  if (slack >= sizeof(std::uint64_t)) {
+    const std::uint64_t canary = kCanary ^ static_cast<std::uint64_t>(off);
+    std::memcpy(base_ + off + kCacheLine + size, &canary, sizeof(canary));
+  }
   return base_ + off + kCacheLine;
 }
 
 void ShmArena::deallocate(void* p) {
   if (p == nullptr) return;
+  ArenaHeader* h = header_of(base_);
+  if (h->poisoned.load(std::memory_order_acquire) != 0) {
+    // Quarantined: leak the block rather than touch suspect free lists.
+    // The checkpoint layer is about to throw the whole image away anyway.
+    return;
+  }
   auto* payload = static_cast<unsigned char*>(p);
   auto* bh = reinterpret_cast<BlockHeader*>(payload - kCacheLine);
   const bool live = bh->magic == kLiveMagic;
   const std::uint32_t cls = bh->cls;
   const bool cls_ok = live && cls < kNumClasses;
+#ifdef FLOV_DEBUG_FREE_BT
+  if (!cls_ok) {
+    void* bt[48];
+    int n = backtrace(bt, 48);
+    backtrace_symbols_fd(bt, n, 2);
+  }
+#endif
   FLOV_CHECK(cls_ok, "shm arena free of a corrupt or double-freed block");
   bh->magic = kFreeMagic;
-  ArenaHeader* h = header_of(base_);
-  FutexLockGuard guard(h->lock);
+  if (h->lock.lock()) {
+    if (audit_locked()) {
+      h->seizures.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // deallocate is noexcept all the way up through operator delete:
+      // quarantine and leak instead of throwing.
+      h->poisoned.store(1, std::memory_order_release);
+      h->lock.unlock();
+      return;
+    }
+  }
+  if (h->poisoned.load(std::memory_order_relaxed) != 0) {
+    h->lock.unlock();
+    return;
+  }
   bh->next = h->freelist[cls];
   h->freelist[cls] =
       static_cast<std::uint64_t>(reinterpret_cast<unsigned char*>(bh) - base_);
+  h->lock.unlock();
 }
 
 std::size_t ShmArena::bytes_used() const {
   return header_of(base_)->used_high.load(std::memory_order_relaxed);
 }
+
+bool ShmArena::audit() {
+  ArenaHeader* h = header_of(base_);
+  const bool seized = h->lock.lock();
+  const bool ok = audit_locked();
+  if (!ok) {
+    h->poisoned.store(1, std::memory_order_release);
+  } else if (seized) {
+    h->seizures.fetch_add(1, std::memory_order_relaxed);
+  }
+  h->lock.unlock();
+  return ok;
+}
+
+bool ShmArena::audit_locked() {
+  ArenaHeader* h = header_of(base_);
+  const std::size_t first =
+      (sizeof(ArenaHeader) + kCacheLine - 1) / kCacheLine * kCacheLine;
+  const std::size_t bump = h->bump;
+  if (bump < first || bump > capacity_) return false;
+  std::size_t off = first;
+  std::size_t blocks = 0;
+  while (off < bump) {
+    const auto* bh = reinterpret_cast<const BlockHeader*>(base_ + off);
+    if (bh->magic != kLiveMagic && bh->magic != kFreeMagic) return false;
+    if (bh->cls >= static_cast<std::uint32_t>(kNumClasses)) return false;
+    const std::size_t bytes = class_bytes(static_cast<int>(bh->cls));
+    if (bytes > bump - off) return false;
+    if (bh->magic == kLiveMagic) {
+      const std::size_t req = static_cast<std::size_t>(bh->req_size);
+      if (req == 0 || req + kCacheLine > bytes) return false;
+      const std::size_t slack = bytes - kCacheLine - req;
+      if (slack >= sizeof(std::uint64_t)) {
+        std::uint64_t canary = 0;
+        std::memcpy(&canary, base_ + off + kCacheLine + req, sizeof(canary));
+        if (canary != (kCanary ^ static_cast<std::uint64_t>(off))) {
+          return false;
+        }
+      }
+    }
+    off += bytes;
+    ++blocks;
+  }
+  if (off != bump) return false;
+  // Freelists: every node in range, free-marked, the right class, and
+  // cycle-free (a list longer than the total block count is a loop).
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    std::uint64_t node = h->freelist[cls];
+    std::size_t seen = 0;
+    while (node != 0) {
+      if (node < first || class_bytes(cls) > bump - node) return false;
+      const auto* bh = reinterpret_cast<const BlockHeader*>(base_ + node);
+      if (bh->magic != kFreeMagic) return false;
+      if (bh->cls != static_cast<std::uint32_t>(cls)) return false;
+      if (++seen > blocks) return false;
+      node = bh->next;
+    }
+  }
+  return true;
+}
+
+bool ShmArena::poisoned() const {
+  return header_of(base_)->poisoned.load(std::memory_order_acquire) != 0;
+}
+
+std::uint64_t ShmArena::seizures() const {
+  return header_of(base_)->seizures.load(std::memory_order_relaxed);
+}
+
+std::size_t ShmArena::image_frontier() const {
+  ArenaHeader* h = header_of(base_);
+  (void)h->lock.lock();
+  const std::size_t bump = h->bump;
+  h->lock.unlock();
+  return bump;
+}
+
+void ShmArena::lock_for_test() { (void)header_of(base_)->lock.lock(); }
+
+void ShmArena::unlock_for_test() { header_of(base_)->lock.unlock(); }
 
 }  // namespace flov::ipc
 
@@ -246,7 +385,9 @@ std::size_t ShmArena::bytes_used() const {
 
 namespace {
 
-void* flov_route_new(std::size_t n, std::size_t align) noexcept {
+/// May throw ArenaPoisoned (a quarantined arena refuses to hand out
+/// possibly-torn state); returns nullptr only on plain heap exhaustion.
+void* flov_route_new_impl(std::size_t n, std::size_t align) {
   if (flov::ipc::ShmArena* a = flov::ipc::thread_arena()) {
     return a->allocate(n, align);
   }
@@ -258,8 +399,18 @@ void* flov_route_new(std::size_t n, std::size_t align) noexcept {
   return std::malloc(n == 0 ? 1 : n);
 }
 
+void* flov_route_new(std::size_t n, std::size_t align) noexcept {
+  try {
+    return flov_route_new_impl(n, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
 void* flov_route_new_throwing(std::size_t n, std::size_t align) {
-  void* p = flov_route_new(n, align);
+  // ArenaPoisoned propagates with its concrete type (it is a bad_alloc) so
+  // the run layer can distinguish quarantine from heap exhaustion.
+  void* p = flov_route_new_impl(n, align);
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }

@@ -34,8 +34,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 
 namespace flov::ipc {
+
+/// Thrown (out of operator new, hence the std::bad_alloc base) when the
+/// arena lock was seized from a dead owner and the post-mortem integrity
+/// audit found torn allocator state, or when a later caller touches an
+/// arena already marked poisoned. Callers treat this like WorkerLost: kill
+/// the remaining workers and restore the last checkpoint (or abort the run
+/// cleanly) — never hang.
+class ArenaPoisoned : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override {
+    return "shared stepping arena poisoned (a process died mid-update "
+           "inside the allocator)";
+  }
+};
 
 class ShmArena {
  public:
@@ -69,7 +84,36 @@ class ShmArena {
   std::size_t bytes_used() const;
   std::size_t capacity() const { return capacity_; }
 
+  /// Walks every block ([header, bump) is a contiguous sequence of
+  /// size-class blocks) checking magics, size classes, tail canaries and
+  /// freelist structure. Returns true when intact; on failure marks the
+  /// arena poisoned so every later allocate() throws ArenaPoisoned instead
+  /// of handing out torn state. Takes the arena lock (and may itself seize
+  /// it from a dead owner).
+  bool audit();
+
+  /// True once an audit failed; the arena is quarantined (allocate throws,
+  /// deallocate leaks) until the checkpoint layer restores a good image.
+  bool poisoned() const;
+
+  /// Number of times the allocator lock was seized from a dead owner and
+  /// the audit passed (healed continuations; diagnostics only).
+  std::uint64_t seizures() const;
+
+  /// Raw image access for the in-run checkpoint layer (runstate.cpp): the
+  /// mapping base and the current bump frontier. Capture/restore memcpy
+  /// [base, base + frontier) while no worker processes are running.
+  unsigned char* image_base() const { return base_; }
+  std::size_t image_frontier() const;
+
+  /// Test hooks: grab / release the allocator futex from process context.
+  /// Used by the chaos tests to die while holding the lock and exercise
+  /// the owner-death seize path. Never call these in normal operation.
+  void lock_for_test();
+  void unlock_for_test();
+
  private:
+  bool audit_locked();
   ShmArena(unsigned char* base, std::size_t capacity);
 
   unsigned char* base_;     ///< mapping start; the control header lives here

@@ -193,12 +193,21 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
     }
   }
 
+  build_pools(params_.step_procs);
+}
+
+void Network::build_pools(int procs) {
   // Multi-process partition: contiguous domain ranges, one per process,
   // parent first. Contiguity keeps every range a union of whole tiles, so
-  // the generic boundary-channel staging above already covers every
+  // the generic boundary-channel staging already covers every
   // cross-PROCESS edge — a cross-process edge is just a cross-domain edge
-  // whose merge happens to read another process's writes.
-  procs_ = std::clamp(params_.step_procs, 1, num_domains_);
+  // whose merge happens to read another process's writes. The tile grid
+  // itself (what determinism depends on) is fixed in the constructor;
+  // recovery may rebuild here with FEWER procs (respawn downshift) without
+  // disturbing results, because manifests are procs-independent by the
+  // staging/merge argument.
+  procs_ = std::clamp(procs, 1, num_domains_);
+  proc_range_.clear();
   int parent_domains = num_domains_;
   if (procs_ > 1) {
     proc_range_.resize(static_cast<std::size_t>(procs_));
@@ -237,6 +246,29 @@ Network::Network(const NocParams& params, RoutingFunction* routing,
     proc_pool_ = std::make_unique<ipc::ProcPool>(
         procs_ - 1, [this](int w, Cycle now) { step_proc_range(w + 1, now); });
   }
+}
+
+void Network::prepare_for_restore() {
+  // SIGKILL + reap every worker process FIRST: once kill_workers returns
+  // there are provably no other writers in the shared arena, so the
+  // checkpoint restore memcpy cannot race anything. Then tear down the
+  // parent's own pools while their objects are still the live ones (the
+  // restore is about to rewrite this Network with capture-time bytes).
+  if (proc_pool_) proc_pool_->kill_workers();
+  proc_pool_.reset();
+  pool_.reset();
+}
+
+void Network::resume_after_restore(int procs) {
+  // The restore memcpy rewrote this object with its capture-time image,
+  // including pool_/proc_pool_ again pointing at the pools that existed at
+  // capture time — whose threads are joined and processes reaped. Running
+  // their destructors would join dead threads (UB); release the pointers
+  // and leak the stale objects (bounded arena garbage per recovery, freed
+  // wholesale at unmap) before building fresh pools.
+  (void)pool_.release();
+  (void)proc_pool_.release();
+  build_pools(procs);
 }
 
 void Network::step_domain(int dom, Cycle now) {

@@ -172,6 +172,18 @@ class Network {
     return flit_out_[node][dir_index(d)];
   }
 
+  // --- checkpoint recovery (runstate.hpp; sim.snapshot_period > 0) ---
+  /// Quarantines the fabric before a checkpoint restore: SIGKILLs + reaps
+  /// every worker process (no writers remain in the shared arena) and
+  /// tears down the parent's thread pool. The Network is unusable until
+  /// resume_after_restore().
+  void prepare_for_restore();
+  /// Rebuilds stepping pools after the arena image was restored, possibly
+  /// with a smaller `procs` (respawn downshift). The tile-domain grid is
+  /// unchanged, so results stay byte-identical. Must be called with the
+  /// shared arena scope bound (as during the run).
+  void resume_after_restore(int procs);
+
  private:
   /// One rectangular tile domain: columns [x0, x1) x rows [y0, y1).
   struct DomainRect {
@@ -191,6 +203,9 @@ class Network {
   /// merge_events drains wake marks and replays ejections (merge).
   void merge_channels();
   void merge_events();
+  /// (Re)builds the procs partition and both stepping pools for `procs`
+  /// processes over the fixed tile-domain grid (constructor + recovery).
+  void build_pools(int procs);
 
   NocParams params_;
   MeshGeometry geom_;

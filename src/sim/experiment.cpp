@@ -1,15 +1,20 @@
 #include "sim/experiment.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <thread>
 
+#include "common/backoff.hpp"
 #include "common/log.hpp"
 #include "flov/flov_network.hpp"
 #include "noc/ipc/proc_pool.hpp"
 #include "noc/ipc/shm_arena.hpp"
 #include "rp/rp_network.hpp"
 #include "sim/baseline_network.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/runstate.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/ops/ops_plane.hpp"
 #include "traffic/gating_scenario.hpp"
@@ -199,7 +204,11 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   // (metrics, incidents) is arena-backed too.
   std::shared_ptr<ipc::ShmArena> arena;
   std::optional<ipc::ShmArenaScope> arena_scope;
-  if (cfg.noc.step_procs > 1) {
+  if (cfg.noc.step_procs > 1 || cfg.snapshot_period > 0) {
+    // snapshot_period > 0 also forces arena mode at procs=1: the
+    // checkpoint layer is a raw arena image, and where bytes are allocated
+    // from cannot change simulated results — so single-process runs get
+    // testable runstate blobs (and recovery from arena poisoning) too.
     arena = ipc::ShmArena::create();
     arena_scope.emplace(arena.get());
   }
@@ -310,42 +319,174 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   bool recovery_armed = true;  ///< one recovery attempt per stall episode
   bool aborted = false;
   bool worker_lost = false;
-  // Steps the system one cycle; false means a stepping worker process died
-  // (procs= mode) — recorded as a `worker_lost` incident, and the caller
-  // must abort: the cycle never completed its barrier, so fabric state is
-  // torn mid-merge and no further stepping or verification is meaningful.
-  auto step_system = [&](Cycle now) {
-    try {
-      sys.step(now);
-      return true;
-    } catch (const ipc::WorkerLost& e) {
-      telemetry::JsonWriter w;
-      w.begin_object();
-      w.kv("kind", "worker_lost");
-      w.kv("scheme", sys.name());
-      w.kv("cycle", static_cast<std::uint64_t>(now));
-      w.kv("worker", e.worker());
-      w.kv("detail", e.what());
-      w.end_object();
-      incidents->add(w.take());
-      worker_lost = true;
+
+  // --- self-healing checkpoint layer (sim.snapshot_period > 0) ---
+  // A capture is pure reads at a cycle boundary: everything the schedule
+  // can reach is either in the arena image or one of the parent-stack
+  // regions registered below. The watchdog scalars are registered so a
+  // rollback also rewinds stall bookkeeping (run.watchdog_recoveries is a
+  // manifest metric and must replay identically); the RUNTIME recovery
+  // counters are deliberately not registered — they count real-world
+  // events and live outside the deterministic state.
+  std::optional<RunstateKeeper> keeper;
+  if (cfg.snapshot_period > 0 && arena) {
+    ipc::ShmArenaScope unbound(nullptr);
+    RunstateKeeper::Options kopts;
+    kopts.path = cfg.runstate_path;
+    kopts.fingerprint = sweep_point_fingerprint(cfg);
+    keeper.emplace(arena.get(), std::move(kopts));
+    keeper->add_region(static_cast<void*>(&stats), sizeof(stats));
+    keeper->add_region(static_cast<void*>(&traffic), sizeof(traffic));
+    keeper->add_region(static_cast<void*>(&scenario), sizeof(scenario));
+    keeper->add_region(&packets_corrupted, sizeof(packets_corrupted));
+    keeper->add_region(&last_ejected, sizeof(last_ejected));
+    keeper->add_region(&last_progress, sizeof(last_progress));
+    keeper->add_region(&recoveries, sizeof(recoveries));
+    keeper->add_region(&recovery_armed, sizeof(recovery_armed));
+  }
+  std::uint64_t recoveries_rt = 0;     ///< RunResult::recoveries
+  std::uint64_t recovery_wall_ns = 0;  ///< RunResult::recovery_wall_ns
+  int cur_procs = net.step_procs();
+  std::optional<ipc::ShmArenaScope> unpoison_scope;
+
+  // Rolls back to the last checkpoint and respawns the stepping pools.
+  // False = self-healing is off, has no snapshot yet, or the recovery
+  // budget is spent — the caller takes the classic abort path.
+  auto attempt_self_heal = [&](Cycle at, const char* why) -> bool {
+    if (!keeper || !keeper->has_snapshot()) return false;
+    if (recoveries_rt >=
+        static_cast<std::uint64_t>(std::max(0, cfg.max_recoveries))) {
       return false;
     }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::fprintf(
+        stderr,
+        "[selfheal] %s at cycle %llu; rolling back to snapshot @%llu "
+        "(recovery %llu/%d)\n",
+        why, static_cast<unsigned long long>(at),
+        static_cast<unsigned long long>(keeper->cycle()),
+        static_cast<unsigned long long>(recoveries_rt + 1),
+        cfg.max_recoveries);
+    bool resumed = false;
+    for (int attempt = 0; attempt < 4 && !resumed; ++attempt) {
+      // Quarantine (no writers left), restore the image in place, rebuild
+      // pools. On a failed respawn the restore is redone: the failed build
+      // may have advanced the arena bump, and re-restoring rewinds it.
+      net.prepare_for_restore();
+      keeper->restore();
+      try {
+        net.resume_after_restore(cur_procs);
+        resumed = true;
+      } catch (const std::exception& e) {
+        // Respawn failed (fork pressure): capped backoff, then downshift
+        // the process count — manifests are procs-independent, so halving
+        // is invisible to results.
+        const std::uint64_t ms = backoff_shift(50, attempt, 4);
+        cur_procs = std::max(1, cur_procs / 2);
+        std::fprintf(stderr,
+                     "[selfheal] respawn failed (%s); retrying with "
+                     "procs=%d after %llu ms\n",
+                     e.what(), cur_procs,
+                     static_cast<unsigned long long>(ms));
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+    }
+    if (!resumed) return false;
+    recoveries_rt++;
+    recovery_wall_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (cfg.ops != nullptr) {
+      cfg.ops->note_recovery(recoveries_rt, recovery_wall_ns);
+    }
+    return true;
+  };
+
+  // Records the terminal loss incident. Deliberately the ONLY place
+  // recovery-adjacent data touches the incident sink: successful
+  // recoveries leave no manifest trace (byte-identity with undisturbed
+  // runs), so incidents appear only when the run actually dies.
+  auto record_loss = [&](Cycle at, const char* kind, int worker,
+                         const char* detail) {
+    if (arena && arena->poisoned() && !unpoison_scope) {
+      // The arena allocator is quarantined; route the remaining telemetry
+      // (incident strings, manifest assembly) to plain malloc. Mixed
+      // storage is fine — deletes route by address.
+      unpoison_scope.emplace(nullptr);
+    }
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("kind", kind);
+    w.kv("scheme", sys.name());
+    w.kv("cycle", static_cast<std::uint64_t>(at));
+    if (worker >= 0) w.kv("worker", worker);
+    w.kv("detail", detail);
+    w.end_object();
+    incidents->add(w.take());
+    worker_lost = true;
+  };
+
+  enum class StepOutcome { kOk, kRecovered, kLost };
+  // Steps the system one cycle. kLost means a stepping worker process died
+  // (or the arena was poisoned) and self-healing was unavailable — the
+  // cycle never completed its barrier, fabric state is torn mid-merge, and
+  // the caller must abort. kRecovered means the state was rolled back to
+  // the last snapshot: `now` has been rewound in place and the caller
+  // re-enters the loop from there.
+  auto step_system = [&](Cycle& now) -> StepOutcome {
+    // Failure details are deep-copied to malloc-side storage and the
+    // exception destroyed BEFORE any recovery work: WorkerLost's message
+    // string was allocated while the arena scope was bound, so restoring
+    // the image first would rewind the allocator out from under the
+    // exception's own destructor.
+    std::string why;
+    const char* kind = nullptr;
+    int lost_worker = -1;
+    try {
+      sys.step(now);
+      return StepOutcome::kOk;
+    } catch (const ipc::WorkerLost& e) {
+      ipc::ShmArenaScope unbound(nullptr);
+      why = e.what();
+      kind = "worker_lost";
+      lost_worker = e.worker();
+    } catch (const ipc::ArenaPoisoned& e) {
+      ipc::ShmArenaScope unbound(nullptr);
+      why = e.what();
+      kind = "arena_poisoned";
+    }
+    if (attempt_self_heal(now, why.c_str())) {
+      now = keeper->cycle();
+      return StepOutcome::kRecovered;
+    }
+    record_loss(now, kind, lost_worker, why.c_str());
+    return StepOutcome::kLost;
   };
   Cycle end_cycle = total;  ///< first cycle NOT simulated
-  for (Cycle now = 0; now < total; ++now) {
+  Cycle now = 0;
+  while (now < total) {
     if (hard_cap != 0 && now >= hard_cap) {
       record_budget_incident(sys, *incidents, "hard_cycle_cap", now, hard_cap);
       aborted = true;
       end_cycle = now;
       break;
     }
+    // Snapshot BEFORE this cycle's traffic/stepping: a restore resumes
+    // with scenario.apply/traffic.step for the captured cycle not yet run,
+    // exactly like the first pass. (capture() no-ops when the resume path
+    // re-crosses the boundary it was restored from.)
+    if (keeper && (now % cfg.snapshot_period) == 0) keeper->capture(now);
     scenario.apply(sys, now);
     traffic.step(now);
-    if (!step_system(now)) {
-      aborted = true;
-      end_cycle = now;
-      break;
+    {
+      const StepOutcome so = step_system(now);
+      if (so == StepOutcome::kLost) {
+        aborted = true;
+        end_cycle = now;
+        break;
+      }
+      if (so == StepOutcome::kRecovered) continue;  // now was rewound
     }
     if (verifier) verifier->step(now);
     if (cfg.ops != nullptr && cfg.ops->wants_tick(now)) cfg.ops->tick(now);
@@ -398,6 +539,7 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
         last_progress = now;  // fresh window for the recovery to act
       }
     }
+    ++now;
   }
 
   // Post-measurement drain: traffic generation and gating changes stop;
@@ -407,25 +549,35 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   // abort — the verifier's final sweep still runs on whatever remains.
   if (!aborted && cfg.drain_max != 0) {
     const Cycle drain_end = total + cfg.drain_max;
-    Cycle now = total;
-    for (; now < drain_end; ++now) {
-      if (hard_cap != 0 && now >= hard_cap) {
-        record_budget_incident(sys, *incidents, "hard_cycle_cap", now,
+    // Anchor a snapshot at drain entry: the drain loop does not replay
+    // scenario/traffic steps, so a recovery during the drain must never
+    // rewind below `total` (it would skip the traffic window's replay).
+    if (keeper) keeper->capture(total);
+    Cycle dnow = total;
+    while (dnow < drain_end) {
+      if (hard_cap != 0 && dnow >= hard_cap) {
+        record_budget_incident(sys, *incidents, "hard_cycle_cap", dnow,
                                hard_cap);
         aborted = true;
         break;
       }
       if (fully_drained(net)) break;
-      if (!step_system(now)) {
-        aborted = true;
-        break;
+      if (keeper && (dnow % cfg.snapshot_period) == 0) keeper->capture(dnow);
+      {
+        const StepOutcome so = step_system(dnow);
+        if (so == StepOutcome::kLost) {
+          aborted = true;
+          break;
+        }
+        if (so == StepOutcome::kRecovered) continue;  // dnow was rewound
       }
-      if (verifier) verifier->step(now);
-      if (cfg.ops != nullptr && cfg.ops->wants_tick(now)) cfg.ops->tick(now);
+      if (verifier) verifier->step(dnow);
+      if (cfg.ops != nullptr && cfg.ops->wants_tick(dnow)) cfg.ops->tick(dnow);
+      ++dnow;
     }
-    end_cycle = now;
-    if (!aborted && now == drain_end && !fully_drained(net)) {
-      record_budget_incident(sys, *incidents, "drain_exhausted", now,
+    end_cycle = dnow;
+    if (!aborted && dnow == drain_end && !fully_drained(net)) {
+      record_budget_incident(sys, *incidents, "drain_exhausted", dnow,
                              cfg.drain_max);
     }
   }
@@ -435,6 +587,8 @@ RunResult run_synthetic(const SyntheticExperimentConfig& cfg) {
   r.scheme = to_string(cfg.scheme);
   r.aborted = aborted;
   r.worker_lost = worker_lost;
+  r.recoveries = recoveries_rt;
+  r.recovery_wall_ns = recovery_wall_ns;
   r.cycles_run = end_cycle;
   r.avg_latency = stats.avg_latency();
   r.p50_latency = stats.latency_percentile(50);

@@ -1,0 +1,143 @@
+#include "sim/runstate.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "telemetry/json.hpp"
+
+namespace flov {
+
+namespace {
+
+constexpr char kSlotMagic[8] = {'F', 'L', 'O', 'V', 'R', 'U', 'N', '1'};
+
+std::uint64_t fnv1a(const unsigned char* p, std::size_t n, std::uint64_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+
+std::string hex16(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+RunstateKeeper::RunstateKeeper(ipc::ShmArena* arena, Options opts)
+    : arena_(arena) {
+  FLOV_CHECK(arena_ != nullptr,
+             "RunstateKeeper needs the shared stepping arena");
+  // Every allocation the keeper makes must be parent-private malloc: the
+  // snapshot's whole job is to survive the arena being torn and rewritten.
+  ipc::ShmArenaScope unbound(nullptr);
+  opts_ = std::move(opts);
+}
+
+void RunstateKeeper::add_region(void* ptr, std::size_t bytes) {
+  FLOV_CHECK(!have_, "register keeper regions before the first capture");
+  ipc::ShmArenaScope unbound(nullptr);
+  regions_.push_back(Region{ptr, bytes});
+}
+
+void RunstateKeeper::capture(Cycle now) {
+  if (have_ && cycle_ == now) return;  // resume re-crossing its boundary
+  ipc::ShmArenaScope unbound(nullptr);
+  frontier_ = arena_->image_frontier();
+  arena_image_.resize(frontier_);
+  std::memcpy(arena_image_.data(), arena_->image_base(), frontier_);
+  std::size_t total = 0;
+  for (const Region& r : regions_) total += r.bytes;
+  region_image_.resize(total);
+  std::size_t off = 0;
+  for (const Region& r : regions_) {
+    std::memcpy(region_image_.data() + off, r.ptr, r.bytes);
+    off += r.bytes;
+  }
+  cycle_ = now;
+  have_ = true;
+  ++seq_;
+  if (!opts_.path.empty()) write_slot();
+}
+
+Cycle RunstateKeeper::restore() {
+  FLOV_CHECK(have_, "no snapshot to restore");
+  // In-place over the same mapping: every absolute pointer inside the
+  // image stays valid. The bump rollback inside the restored ArenaHeader
+  // makes post-capture blocks unreachable (bounded garbage, unmapped
+  // wholesale at teardown), and the restored header is clean — lock free,
+  // poison flag clear.
+  std::memcpy(arena_->image_base(), arena_image_.data(), frontier_);
+  std::size_t off = 0;
+  for (const Region& r : regions_) {
+    std::memcpy(r.ptr, region_image_.data() + off, r.bytes);
+    off += r.bytes;
+  }
+  return cycle_;
+}
+
+void RunstateKeeper::write_slot() {
+  // Double-buffered: alternate slot files so a crash mid-write leaves the
+  // previous slot intact; the index line is appended only after the slot
+  // is fully written and closed.
+  const int slot = static_cast<int>(seq_ % 2);
+  const std::string slot_path = opts_.path + "." + std::to_string(slot);
+  std::FILE* f = std::fopen(slot_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[runstate] cannot open %s; disk snapshots off\n",
+                 slot_path.c_str());
+    opts_.path.clear();
+    return;
+  }
+  std::uint64_t checksum = fnv1a(arena_image_.data(), arena_image_.size(),
+                                 kFnvSeed);
+  checksum = fnv1a(region_image_.data(), region_image_.size(), checksum);
+  const std::uint64_t hdr[6] = {
+      seq_,
+      static_cast<std::uint64_t>(cycle_),
+      opts_.fingerprint,
+      static_cast<std::uint64_t>(arena_image_.size()),
+      static_cast<std::uint64_t>(region_image_.size()),
+      checksum,
+  };
+  bool ok = std::fwrite(kSlotMagic, 1, sizeof(kSlotMagic), f) ==
+            sizeof(kSlotMagic);
+  ok = ok && std::fwrite(hdr, 1, sizeof(hdr), f) == sizeof(hdr);
+  ok = ok && std::fwrite(arena_image_.data(), 1, arena_image_.size(), f) ==
+                 arena_image_.size();
+  ok = ok && std::fwrite(region_image_.data(), 1, region_image_.size(), f) ==
+                 region_image_.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "[runstate] short write to %s; disk snapshots off\n",
+                 slot_path.c_str());
+    opts_.path.clear();
+    return;
+  }
+  std::FILE* idx = std::fopen(opts_.path.c_str(), seq_ == 1 ? "w" : "a");
+  if (idx == nullptr) return;
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "flyover-runstate-v1");
+  w.kv("seq", seq_);
+  w.kv("cycle", static_cast<std::uint64_t>(cycle_));
+  w.kv("fingerprint", hex16(opts_.fingerprint));
+  w.kv("slot", slot);
+  w.kv("bytes",
+       static_cast<std::uint64_t>(arena_image_.size() + region_image_.size()));
+  w.kv("checksum", hex16(checksum));
+  w.end_object();
+  const std::string line = w.take();
+  std::fwrite(line.data(), 1, line.size(), idx);
+  std::fputc('\n', idx);
+  std::fclose(idx);
+}
+
+}  // namespace flov

@@ -1,0 +1,102 @@
+// In-run checkpoints for the self-healing multi-process runtime
+// (sim.snapshot_period > 0; docs/RELIABILITY.md, "Runtime self-healing").
+//
+// The multi-process design makes checkpointing almost free of format code:
+// the ENTIRE stepping state — hot-state slab, channels (with staged
+// cross-domain sends), routers, NIs, RNG cursors inside traffic/fault
+// objects, telemetry fold state — already lives either in the shared arena
+// (everything allocated under the run's ShmArenaScope) or in a handful of
+// parent-stack objects (LatencyStats, SyntheticTraffic, GatingScenario,
+// loop scalars). So a checkpoint is:
+//
+//   1. a raw byte image of the arena's used prefix [base, bump), and
+//   2. a raw byte copy of each registered stack region.
+//
+// Restore memcpys both back IN PLACE over the same mapping, so every
+// absolute pointer in the image stays valid — no relocation, no
+// serialization schema drift, and the restored run is bit-exact by
+// construction (the same argument as fork() itself). Captures happen only
+// at cycle boundaries while all workers are parked at the barrier, so the
+// image is a quiescent point of the deterministic schedule.
+//
+// Durability: when a path is configured, each capture is also written to a
+// versioned `flyover-runstate-v1` blob — two alternating slot files
+// (path.0 / path.1) so a crash mid-write can never corrupt the last good
+// snapshot, plus an append-only JSONL index at `path` carrying schema,
+// config fingerprint, cycle and checksum (validated by
+// scripts/validate_telemetry.py --runstate). In-run recovery always
+// restores from the in-memory copy; the disk blob is the operator-facing
+// audit trail of what the run could have recovered from.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/ipc/shm_arena.hpp"
+
+namespace flov {
+
+class RunstateKeeper {
+ public:
+  struct Options {
+    /// Disk blob path ("" = in-memory only; recovery never needs disk).
+    std::string path;
+    /// sweep_point_fingerprint(cfg) — stamped into every index line so a
+    /// validator (or a future cross-process resume) can reject snapshots
+    /// from a different configuration.
+    std::uint64_t fingerprint = 0;
+  };
+
+  /// `arena` is borrowed and must outlive the keeper. All internal buffers
+  /// are parent-private malloc memory (the keeper unbinds the arena scope
+  /// around its own allocations) — a snapshot must survive the arena being
+  /// quarantined and rewritten.
+  RunstateKeeper(ipc::ShmArena* arena, Options opts);
+
+  RunstateKeeper(const RunstateKeeper&) = delete;
+  RunstateKeeper& operator=(const RunstateKeeper&) = delete;
+
+  /// Registers a raw region (a parent-stack object whose heap members live
+  /// in the arena) to be captured/restored byte-wise alongside the arena
+  /// image. Register everything BEFORE the first capture.
+  void add_region(void* ptr, std::size_t bytes);
+
+  /// Captures the complete stepping state at cycle `now`. Must be called
+  /// between cycles with no worker mid-step (the run loop's snapshot
+  /// boundary). Re-capturing the cycle already held is a no-op (the resume
+  /// path passes through its own capture boundary again).
+  void capture(Cycle now);
+
+  /// Restores the last capture in place over the same mapping. Caller must
+  /// have quarantined the fabric first (Network::prepare_for_restore — no
+  /// worker processes left). Returns the captured cycle, which is the next
+  /// cycle to execute.
+  Cycle restore();
+
+  bool has_snapshot() const { return have_; }
+  Cycle cycle() const { return cycle_; }
+  std::uint64_t captures() const { return seq_; }
+
+ private:
+  struct Region {
+    void* ptr;
+    std::size_t bytes;
+  };
+
+  void write_slot();
+
+  ipc::ShmArena* arena_;
+  Options opts_;
+  std::vector<Region> regions_;
+  std::vector<unsigned char> arena_image_;
+  std::vector<unsigned char> region_image_;
+  std::size_t frontier_ = 0;  ///< arena bytes captured ([base, bump))
+  Cycle cycle_ = 0;
+  bool have_ = false;
+  std::uint64_t seq_ = 0;  ///< capture sequence number (slot = seq % 2)
+};
+
+}  // namespace flov

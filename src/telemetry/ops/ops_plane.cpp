@@ -249,10 +249,14 @@ std::string OpsPlane::healthz_json() const {
   auto snap = publisher_.current();
   const OpsSnapshot empty;
   const OpsSnapshot& s = snap ? *snap : empty;
+  const std::uint64_t recov = recoveries_.load(std::memory_order_relaxed);
   telemetry::JsonWriter w;
   w.begin_object();
   w.kv("schema", "flyover-healthz-v1");
-  w.kv("status", s.stalled ? "stalled" : "ok");
+  // Status precedence: stalled > degraded > ok. `degraded` = the run is
+  // healthy NOW but self-healed at least once (lost worker / poisoned
+  // arena recovered from a checkpoint).
+  w.kv("status", s.stalled ? "stalled" : (recov > 0 ? "degraded" : "ok"));
   w.kv("build", telemetry::build_git_describe());
   w.kv("scheme", s.scheme);
   w.kv("campaign", s.campaign);
@@ -274,6 +278,10 @@ std::string OpsPlane::healthz_json() const {
     w.raw(g.take());
   }
   w.kv("hist_overflow", s.hist_overflow);
+  w.kv("recoveries", recov);
+  w.kv("recovery_wall_seconds",
+       static_cast<double>(recovery_wall_ns_.load(std::memory_order_relaxed)) /
+           1e9);
   {
     // Live (wall-clock-derived, volatile like uptime) procs= imbalance:
     // 1.0 when single-process or between runs.

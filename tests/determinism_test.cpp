@@ -490,6 +490,78 @@ TEST(Determinism, WorkerKillMidRunRaisesWorkerLostAndAborts) {
   EXPECT_NE(manifest_json(r, 7).find("run.worker_lost"), std::string::npos);
 }
 
+TEST(Determinism, WorkerKillMidRunSelfHealsToByteIdenticalManifest) {
+  // The tentpole invariant of the self-healing runtime: kill a stepping
+  // worker mid-run with checkpoints armed, and the recovered run's
+  // manifest is BYTE-IDENTICAL to both an undisturbed procs=2 run and the
+  // serial threads=1 run — the rollback + replay is invisible to results.
+  if (FLOV_TEST_TSAN) GTEST_SKIP() << "TSan cannot model forked workers";
+  for (Scheme s : {Scheme::kGFlov, Scheme::kBaseline}) {
+    SCOPED_TRACE(to_string(s));
+    const RunResult serial = run_synthetic(procs_config(s, 8, 0.4, 7, 1));
+    const std::string serial_manifest = manifest_json(serial, 7);
+    const RunResult undisturbed =
+        run_synthetic(procs_config(s, 8, 0.4, 7, 2));
+    EXPECT_EQ(serial_manifest, manifest_json(undisturbed, 7));
+
+    SyntheticExperimentConfig ex = procs_config(s, 8, 0.4, 7, 2);
+    ex.snapshot_period = 512;
+    ex.max_recoveries = 3;
+    // The ProcPool ctor consumes (unsets) the hook, so respawned pools
+    // don't re-kill; re-arm per disturbed run.
+    ASSERT_EQ(setenv("FLYOVER_TEST_KILL_WORKER", "0:600", 1), 0);
+    const RunResult healed = run_synthetic(ex);
+    unsetenv("FLYOVER_TEST_KILL_WORKER");
+
+    EXPECT_FALSE(healed.aborted);
+    EXPECT_FALSE(healed.worker_lost);
+    EXPECT_EQ(healed.recoveries, 1u);
+    EXPECT_GT(healed.recovery_wall_ns, 0u);
+    expect_identical(serial, healed);
+    // Byte-identity is the whole point: recovery telemetry must not leak
+    // into metrics or incidents.
+    EXPECT_EQ(serial_manifest, manifest_json(healed, 7));
+    EXPECT_EQ(manifest_json(healed, 7).find("run.worker_lost"),
+              std::string::npos);
+  }
+}
+
+TEST(Determinism, WorkerKilledInsideAllocatorRecoversWithoutHanging) {
+  // The hardest chaos case: the worker dies while HOLDING the shared
+  // arena's futex lock (inside allocate). The robust pid-owner lock must
+  // detect the dead owner within its bounded wait, seize, audit, and the
+  // run must self-heal to a byte-identical manifest — never hang.
+  if (FLOV_TEST_TSAN) GTEST_SKIP() << "TSan cannot model forked workers";
+  const RunResult undisturbed =
+      run_synthetic(procs_config(Scheme::kGFlov, 8, 0.4, 7, 2));
+  SyntheticExperimentConfig ex = procs_config(Scheme::kGFlov, 8, 0.4, 7, 2);
+  ex.snapshot_period = 512;
+  ASSERT_EQ(setenv("FLYOVER_TEST_KILL_IN_ALLOC", "0:600", 1), 0);
+  const RunResult healed = run_synthetic(ex);
+  unsetenv("FLYOVER_TEST_KILL_IN_ALLOC");
+  EXPECT_FALSE(healed.aborted);
+  EXPECT_FALSE(healed.worker_lost);
+  EXPECT_EQ(healed.recoveries, 1u);
+  expect_identical(undisturbed, healed);
+  EXPECT_EQ(manifest_json(undisturbed, 7), manifest_json(healed, 7));
+}
+
+TEST(Determinism, SnapshotPeriodAloneForcesArenaAndStaysIdentical) {
+  // sim.snapshot_period > 0 at procs=1 moves every run allocation into the
+  // shared arena (so checkpoints cover the whole graph). The allocation
+  // source must be invisible to results: byte-identical manifest to a
+  // plain malloc-backed serial run.
+  if (FLOV_TEST_TSAN) GTEST_SKIP() << "arena futexes confuse TSan";
+  const RunResult plain =
+      run_synthetic(procs_config(Scheme::kGFlov, 8, 0.4, 7, 1));
+  SyntheticExperimentConfig ex = procs_config(Scheme::kGFlov, 8, 0.4, 7, 1);
+  ex.snapshot_period = 1024;
+  const RunResult arena = run_synthetic(ex);
+  EXPECT_EQ(arena.recoveries, 0u);
+  expect_identical(plain, arena);
+  EXPECT_EQ(manifest_json(plain, 7), manifest_json(arena, 7));
+}
+
 TEST(Determinism, MultiProcessSweepKilledAndResumedMatchesUninterrupted) {
   // The checkpoint/resume loop composes with procs=: a sweep of procs=2
   // points killed after two completed points and resumed (still procs=2)

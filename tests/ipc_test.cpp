@@ -1,0 +1,200 @@
+// Unit tests for the ipc layer underneath multi-process stepping: the
+// SPSC status ring's index arithmetic at its edges, and the shared arena's
+// size-class recycling, canary/audit hardening and poisoning contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "noc/ipc/spsc_ring.hpp"
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "noc/ipc/shm_arena.hpp"
+#endif
+
+namespace flov::ipc {
+namespace {
+
+struct Rec {
+  std::uint64_t epoch;
+  std::uint64_t busy_ns;
+};
+
+TEST(SpscRing, FifoAcrossIndexWrapAround) {
+  // Head/tail are free-running counters masked into the slot array; march
+  // enough records through a tiny ring that the physical index wraps many
+  // times and FIFO order must survive every wrap.
+  SpscRing<Rec, 4> ring;
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const int burst = 1 + (round % 4);
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(ring.try_push(Rec{next_push, next_push * 3}));
+      ++next_push;
+    }
+    Rec r{};
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(ring.try_pop(&r));
+      EXPECT_EQ(r.epoch, next_pop);
+      EXPECT_EQ(r.busy_ns, next_pop * 3);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscRing, FullRingRefusesPushWithoutClobbering) {
+  // Backpressure contract: a full ring returns false and leaves the queued
+  // records untouched — the producer coalesces, it never overwrites.
+  SpscRing<Rec, 4> ring;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_push(Rec{i, i}));
+  }
+  EXPECT_FALSE(ring.try_push(Rec{99, 99}));
+  EXPECT_FALSE(ring.try_push(Rec{100, 100}));
+  Rec r{};
+  ASSERT_TRUE(ring.try_pop(&r));
+  EXPECT_EQ(r.epoch, 0u);  // rejected pushes clobbered nothing
+  // One slot free again: the next push lands behind the survivors.
+  ASSERT_TRUE(ring.try_push(Rec{4, 4}));
+  for (std::uint64_t want = 1; want <= 4; ++want) {
+    ASSERT_TRUE(ring.try_pop(&r));
+    EXPECT_EQ(r.epoch, want);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, MinimumCapacityTwoAlternatesEmptyAndFull) {
+  // kSlots = 2 is the smallest legal ring; the full/empty predicates sit
+  // one increment apart, the regime where off-by-one index bugs live.
+  SpscRing<Rec, 2> ring;
+  EXPECT_TRUE(ring.empty());
+  Rec r{};
+  EXPECT_FALSE(ring.try_pop(&r));
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(ring.try_push(Rec{2 * i, 0}));
+    ASSERT_TRUE(ring.try_push(Rec{2 * i + 1, 0}));
+    EXPECT_FALSE(ring.try_push(Rec{999, 0}));  // full at exactly kSlots
+    ASSERT_TRUE(ring.try_pop(&r));
+    EXPECT_EQ(r.epoch, 2 * i);
+    ASSERT_TRUE(ring.try_pop(&r));
+    EXPECT_EQ(r.epoch, 2 * i + 1);
+    EXPECT_FALSE(ring.try_pop(&r));  // empty again
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+#if defined(__linux__)
+
+TEST(ShmArena, SizeClassReuseAfterCrossScopeFrees) {
+  // Free a block from OUTSIDE any arena scope (operator delete routes by
+  // address, not by thread binding) and the size class must hand the same
+  // block back on the next fitting allocation — the freelists are shared
+  // across scopes and processes, not thread-local caches.
+  auto arena = ShmArena::create(std::size_t{64} << 20);
+  void* first = nullptr;
+  {
+    ShmArenaScope scope(arena.get());
+    first = ::operator new(100);
+    ASSERT_TRUE(arena->contains(first));
+  }
+  // No scope bound: the delete must still find the owning arena.
+  ::operator delete(first);
+  ASSERT_TRUE(arena->audit());
+  {
+    ShmArenaScope scope(arena.get());
+    // Same 256-byte size class (64-byte header + payload) => recycled,
+    // same address.
+    void* again = ::operator new(150);
+    EXPECT_EQ(again, first);
+    // A different class must NOT take the recycled block.
+    void* big = ::operator new(4096);
+    EXPECT_NE(big, first);
+    ASSERT_TRUE(arena->contains(big));
+    ::operator delete(big);
+    ::operator delete(again);
+  }
+  EXPECT_TRUE(arena->audit());
+  EXPECT_FALSE(arena->poisoned());
+}
+
+TEST(ShmArena, FreelistCyclesThroughManyBlocksWithoutGrowth) {
+  // Direct allocate/deallocate (no scope) so the test's own containers
+  // stay on malloc and can't move the arena's high-water mark.
+  auto arena = ShmArena::create(std::size_t{64} << 20);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) blocks.push_back(arena->allocate(100, 8));
+  const std::size_t high = arena->bytes_used();
+  std::set<void*> seen(blocks.begin(), blocks.end());
+  EXPECT_EQ(seen.size(), blocks.size());
+  for (void* p : blocks) arena->deallocate(p);
+  // Refilling the same class must come entirely from the freelist: the
+  // high-water mark cannot move and every pointer is a recycled one.
+  for (int round = 0; round < 8; ++round) {
+    std::vector<void*> again;
+    for (int i = 0; i < 64; ++i) again.push_back(arena->allocate(100, 8));
+    for (void* p : again) EXPECT_EQ(seen.count(p), 1u);
+    EXPECT_EQ(arena->bytes_used(), high);
+    for (void* p : again) arena->deallocate(p);
+  }
+  EXPECT_TRUE(arena->audit());
+}
+
+TEST(ShmArena, AuditDetectsCanaryOverrunAndPoisons) {
+  // Overrun a block's payload into its tail canary: audit must fail,
+  // quarantine the arena, and every later allocation through the scope
+  // must surface ArenaPoisoned instead of torn state.
+  auto arena = ShmArena::create(std::size_t{64} << 20);
+  void* p = arena->allocate(100, 8);
+  ASSERT_TRUE(arena->audit());
+  std::memset(p, 0xAB, 120);  // 20 bytes past the requested size
+  EXPECT_FALSE(arena->audit());
+  EXPECT_TRUE(arena->poisoned());
+  EXPECT_THROW(arena->allocate(64, 8), ArenaPoisoned);
+  // Quarantined deallocate leaks by contract (never touches freelists).
+  arena->deallocate(p);
+}
+
+TEST(ShmArena, AuditTakesASeizedLockFromADeadOwnerBounded) {
+  // Simulate a process dying inside the allocator: take the futex from a
+  // *forked child* that exits while holding it, then audit from the
+  // parent. The robust pid-owner lock must detect the dead owner via its
+  // bounded wait (not hang), seize, and the audit must pass (the "owner"
+  // died between, not during, list surgery here).
+  auto arena = ShmArena::create(std::size_t{64} << 20);
+  {
+    ShmArenaScope scope(arena.get());
+    void* p = ::operator new(100);
+    ::operator delete(p);
+  }
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    arena->lock_for_test();
+    _Exit(0);  // dies as the lock's recorded owner
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  // audit() must seize the orphaned lock within its bounded futex wait.
+  EXPECT_TRUE(arena->audit());
+  EXPECT_GE(arena->seizures(), 1u);
+  EXPECT_FALSE(arena->poisoned());
+  // The arena is healed: normal allocation continues.
+  ShmArenaScope scope(arena.get());
+  void* q = ::operator new(100);
+  EXPECT_TRUE(arena->contains(q));
+  ::operator delete(q);
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+}  // namespace flov::ipc
